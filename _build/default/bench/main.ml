@@ -1,0 +1,222 @@
+(* Benchmark harness.
+
+   Running `dune exec bench/main.exe` does two things:
+
+   1. regenerates every table and figure of the paper (the experiment
+      reproduction — the rows/series the paper reports), at a scale set
+      by REPRO_INTERVALS (default 256, the full experiment);
+   2. runs one Bechamel micro-benchmark per table/figure kernel plus the
+      ablation benches called out in DESIGN.md, reporting ns/run.
+
+   `dune exec bench/main.exe -- --bench-only` or `--experiments-only`
+   restricts to one half; `--quick` shrinks the experiment scale. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------- experiment harness ---------------------- *)
+
+let experiment_config ~quick =
+  let intervals =
+    match Sys.getenv_opt "REPRO_INTERVALS" with
+    | Some s -> int_of_string s
+    | None -> if quick then 64 else 256
+  in
+  { Fuzzy.Analysis.default with Fuzzy.Analysis.intervals }
+
+let run_experiments config =
+  List.iter
+    (fun e ->
+      Printf.printf "==================== %s ====================\n" e.Fuzzy.Experiments.id;
+      Printf.printf "%s\npaper shape: %s\n\n" e.Fuzzy.Experiments.title
+        e.Fuzzy.Experiments.paper_claim;
+      let t0 = Sys.time () in
+      print_string (e.Fuzzy.Experiments.run config);
+      Printf.printf "[%s regenerated in %.1fs cpu]\n\n%!" e.Fuzzy.Experiments.id
+        (Sys.time () -. t0))
+    Fuzzy.Experiments.all
+
+(* --------------------------- ablation: trees ----------------------- *)
+
+(* Naive dense split search, used only to quantify the sparse
+   implementation's advantage (DESIGN.md ablation 1).  Same objective as
+   Rtree.Tree's search, but it materialises every (row, feature) count
+   and scans all features densely. *)
+let naive_best_split rows y n_features =
+  let n = Array.length rows in
+  let dense =
+    Array.map
+      (fun r ->
+        let d = Array.make n_features 0.0 in
+        Stats.Sparse_vec.add_into_dense r d;
+        d)
+      rows
+  in
+  let best = ref None in
+  for f = 0 to n_features - 1 do
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare dense.(a).(f) dense.(b).(f)) order;
+    let lsum = ref 0.0 and lsq = ref 0.0 in
+    let tsum = ref 0.0 and tsq = ref 0.0 in
+    Array.iter
+      (fun i ->
+        tsum := !tsum +. y.(i);
+        tsq := !tsq +. (y.(i) *. y.(i)))
+      order;
+    for pos = 0 to n - 2 do
+      let i = order.(pos) in
+      lsum := !lsum +. y.(i);
+      lsq := !lsq +. (y.(i) *. y.(i));
+      if dense.(order.(pos + 1)).(f) > dense.(i).(f) then begin
+        let ln = float_of_int (pos + 1) and rn = float_of_int (n - pos - 1) in
+        let lvar = !lsq -. (!lsum *. !lsum /. ln) in
+        let rsum = !tsum -. !lsum and rsq = !tsq -. !lsq in
+        let rvar = rsq -. (rsum *. rsum /. rn) in
+        let sse = lvar +. rvar in
+        match !best with
+        | Some (_, _, b) when b <= sse -> ()
+        | _ -> best := Some (f, dense.(i).(f), sse)
+      end
+    done
+  done;
+  !best
+
+let synthetic_eipv_dataset ~rows ~features ~nnz =
+  let rng = Stats.Rng.create 99 in
+  let rs =
+    Array.init rows (fun _ ->
+        Stats.Sparse_vec.of_assoc
+          (List.init nnz (fun _ ->
+               (Stats.Rng.int rng features, float_of_int (1 + Stats.Rng.int rng 20)))))
+  in
+  let y = Array.map (fun r -> Stats.Sparse_vec.sum r +. Stats.Rng.float rng 5.0) rs in
+  Rtree.Dataset.make ~rows:rs ~y
+
+(* ----------------------------- bechamel ----------------------------- *)
+
+let quick_cfg = Fuzzy.Analysis.quick
+
+(* Pre-computed inputs shared by the micro-benchmarks (excluded from the
+   measured region). *)
+let prepared =
+  lazy
+    (let ds = synthetic_eipv_dataset ~rows:128 ~features:2000 ~nnz:60 in
+     let gzip = Fuzzy.Experiments.analyze_cached quick_cfg "gzip" in
+     let q13 = Fuzzy.Experiments.analyze_cached quick_cfg "odb_h_q13" in
+     (ds, gzip, q13))
+
+let bench_tests () =
+  let ds, gzip, q13 = Lazy.force prepared in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  let experiment_kernels =
+    [
+      mk "table1_fig1/example_tree" (fun () -> ignore (Fuzzy.Example.tree ()));
+      mk "fig2_re_curves/cv_curve" (fun () ->
+          ignore
+            (Rtree.Cv.relative_error_curve ~folds:5 ~kmax:10 (Stats.Rng.create 1)
+               (Sampling.Eipv.dataset gzip.Fuzzy.Analysis.eipv)));
+      mk "fig3_spread/render" (fun () ->
+          ignore (Fuzzy.Report.spread gzip.Fuzzy.Analysis.run ~points:40));
+      mk "fig4_fig5_breakdown/series" (fun () ->
+          ignore (Fuzzy.Report.breakdown_series gzip.Fuzzy.Analysis.eipv ~points:16));
+      mk "fig6_fig7_threads/separated_eipvs" (fun () ->
+          ignore
+            (Sampling.Eipv.build_thread_separated gzip.Fuzzy.Analysis.run
+               ~samples_per_interval:25));
+      mk "fig8_fig9_q13/tree_build" (fun () ->
+          ignore
+            (Rtree.Tree.build ~max_leaves:25 (Sampling.Eipv.dataset q13.Fuzzy.Analysis.eipv)));
+      mk "fig10_fig11_fig12_q18/btree_probes" (fun () ->
+          let db = Dbengine.Tpch.create ~scale:0.05 ~seed:1 () in
+          let bt = Dbengine.Tpch.lineitem_index db in
+          let rng = Stats.Rng.create 2 in
+          for _ = 1 to 1_000 do
+            ignore (Dbengine.Btree.find bt (Stats.Rng.int rng 1_000))
+          done);
+      mk "table2_fig13/classify" (fun () ->
+          ignore (Fuzzy.Quadrant.classify ~cpi_variance:0.02 ~re:0.4 ()));
+      mk "sec4_6_kmeans/fit" (fun () ->
+          ignore
+            (Kmeans.fit (Stats.Rng.create 3) ~k:8
+               ~n_features:q13.Fuzzy.Analysis.eipv.Sampling.Eipv.n_features
+               (Sampling.Eipv.points q13.Fuzzy.Analysis.eipv)));
+      mk "sec7_sampling/phase_estimate" (fun () ->
+          ignore
+            (Fuzzy.Techniques.estimate Fuzzy.Techniques.Phase_based (Stats.Rng.create 4)
+               q13.Fuzzy.Analysis.eipv ~budget:6));
+      mk "sec7_1_robustness/quantum_simulation" (fun () ->
+          let w = (Workload.Catalog.find "gzip").Workload.Catalog.build ~seed:9 ~scale:0.1 in
+          let cpu = March.Cpu.create March.Config.itanium2 in
+          ignore (Sampling.Driver.run w ~cpu ~rng:(Stats.Rng.create 9) ~samples:50));
+    ]
+  in
+  let ablations =
+    [
+      mk "ablation_rtree_sparse/sparse_split" (fun () ->
+          ignore (Rtree.Tree.build ~max_leaves:2 ds));
+      mk "ablation_rtree_sparse/naive_dense_split" (fun () ->
+          ignore
+            (naive_best_split ds.Rtree.Dataset.rows ds.Rtree.Dataset.y
+               ds.Rtree.Dataset.n_features));
+      mk "ablation_cv_vs_train/cv" (fun () ->
+          ignore (Rtree.Cv.relative_error_curve ~folds:5 ~kmax:8 (Stats.Rng.create 5) ds));
+      mk "ablation_cv_vs_train/train" (fun () ->
+          ignore (Rtree.Cv.training_error_curve ~kmax:8 ds));
+    ]
+  in
+  let substrate =
+    [
+      mk "substrate/cache_access_4k" (fun () ->
+          let c = March.Cache.create ~size_bytes:32768 ~ways:4 ~line_bytes:64 in
+          for i = 0 to 4095 do
+            ignore (March.Cache.access c (i * 64))
+          done);
+      mk "substrate/gshare_update_4k" (fun () ->
+          let b = March.Branch.create ~table_bits:14 () in
+          for i = 0 to 4095 do
+            ignore (March.Branch.update b ~pc:(i land 255) ~taken:(i land 3 <> 0))
+          done);
+      mk "substrate/sparse_dot_1k" (fun () ->
+          let v = Stats.Sparse_vec.of_assoc (List.init 100 (fun i -> (i * 7, 1.5))) in
+          let d = Array.make 1024 0.5 in
+          for _ = 1 to 1_000 do
+            ignore (Stats.Sparse_vec.dot_dense v d)
+          done);
+    ]
+  in
+  Test.make_grouped ~name:"repro"
+    [
+      Test.make_grouped ~name:"experiments" experiment_kernels;
+      Test.make_grouped ~name:"ablations" ablations;
+      Test.make_grouped ~name:"substrate" substrate;
+    ]
+
+let run_benchmarks () =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances (bench_tests ()) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> est
+        | Some _ | None -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  print_endline "Bechamel micro-benchmarks (monotonic clock, ns/run):";
+  List.iter (fun (name, ns) -> Printf.printf "  %-50s %14.0f ns/run\n" name ns) rows
+
+(* -------------------------------- main ------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let bench_only = List.mem "--bench-only" args in
+  let experiments_only = List.mem "--experiments-only" args in
+  let quick = List.mem "--quick" args in
+  if not bench_only then run_experiments (experiment_config ~quick);
+  if not experiments_only then run_benchmarks ()

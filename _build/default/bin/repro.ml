@@ -1,0 +1,148 @@
+(* Command-line driver regenerating every table and figure of the paper.
+   `repro list` enumerates experiments; `repro run fig2 table2 ...` prints
+   them; `repro all` runs the lot; `repro analyze <workload>` runs the
+   predictability pipeline on one workload. *)
+
+open Cmdliner
+
+let config_term =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Use the reduced test-scale configuration.")
+  in
+  let seed =
+    Arg.(value & opt int Fuzzy.Analysis.default.Fuzzy.Analysis.seed & info [ "seed" ] ~doc:"PRNG seed.")
+  in
+  let scale =
+    Arg.(value & opt (some float) None & info [ "scale" ] ~doc:"Workload data-size multiplier.")
+  in
+  let intervals =
+    Arg.(value & opt (some int) None & info [ "intervals" ] ~doc:"Number of EIPV intervals.")
+  in
+  let spi =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "samples-per-interval" ] ~doc:"Sampler interrupts per EIPV interval.")
+  in
+  let machine =
+    Arg.(
+      value
+      & opt (enum [ ("itanium2", "itanium2"); ("pentium4", "pentium4"); ("xeon", "xeon") ])
+          "itanium2"
+      & info [ "machine" ] ~doc:"Machine model: itanium2, pentium4 or xeon.")
+  in
+  let build quick seed scale intervals spi machine =
+    let base = if quick then Fuzzy.Analysis.quick else Fuzzy.Analysis.default in
+    let base = { base with Fuzzy.Analysis.seed; machine = March.Config.by_name machine } in
+    let base =
+      match scale with Some s -> { base with Fuzzy.Analysis.scale = s } | None -> base
+    in
+    let base =
+      match intervals with Some i -> { base with Fuzzy.Analysis.intervals = i } | None -> base
+    in
+    match spi with
+    | Some s -> { base with Fuzzy.Analysis.samples_per_interval = s }
+    | None -> base
+  in
+  Term.(const build $ quick $ seed $ scale $ intervals $ spi $ machine)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-10s %s\n           paper: %s\n" e.Fuzzy.Experiments.id
+          e.Fuzzy.Experiments.title e.Fuzzy.Experiments.paper_claim)
+      Fuzzy.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available experiments.") Term.(const run $ const ())
+
+let run_experiments config ids =
+  List.iter
+    (fun id ->
+      match Fuzzy.Experiments.find id with
+      | exception Not_found ->
+          Printf.eprintf "unknown experiment %S; try `repro list`\n" id;
+          exit 1
+      | e ->
+          Printf.printf "==== %s ====\n%!" e.Fuzzy.Experiments.title;
+          print_string (e.Fuzzy.Experiments.run config);
+          print_newline ())
+    ids
+
+let run_cmd =
+  let ids =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids.")
+  in
+  let run config ids = run_experiments config ids in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one or more experiments by id.")
+    Term.(const run $ config_term $ ids)
+
+let all_cmd =
+  let run config = run_experiments config Fuzzy.Experiments.ids in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment (full paper reproduction).")
+    Term.(const run $ config_term)
+
+let analyze_cmd =
+  let names =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"WORKLOAD" ~doc:"Catalog workload names.")
+  in
+  let run config names =
+    List.iter
+      (fun name ->
+        match Workload.Catalog.find name with
+        | exception Not_found ->
+            Printf.eprintf "unknown workload %S; try `repro workloads`\n" name;
+            exit 1
+        | _ ->
+            let a = Fuzzy.Experiments.analyze_cached config name in
+            Format.printf "%a@." Fuzzy.Analysis.pp_summary a;
+            print_string (Fuzzy.Report.re_curve a.Fuzzy.Analysis.curve);
+            (* Which EIPs carry the CPI signal, if any. *)
+            let ds = Sampling.Eipv.dataset a.Fuzzy.Analysis.eipv in
+            let tree = Rtree.Tree.build ~max_leaves:a.Fuzzy.Analysis.kopt ds in
+            (match Rtree.Tree.feature_importance tree with
+            | [] -> print_endline "no EIP carries predictive signal (single chamber)"
+            | imp ->
+                print_endline "most CPI-predictive EIPs:";
+                List.iteri
+                  (fun i (f, share) ->
+                    if i < 5 then
+                      let eip = a.Fuzzy.Analysis.eipv.Sampling.Eipv.eip_of_feature.(f) in
+                      Printf.printf "  EIP 0x%x (region %d): %s of explained variance\n" eip
+                        (Workload.Code_map.eip_region eip)
+                        (Stats.Table.fmt_pct share))
+                  imp);
+            Printf.printf "recommended sampling technique: %s\n"
+              (Fuzzy.Techniques.to_string (Fuzzy.Techniques.recommend a.Fuzzy.Analysis.quadrant)))
+      names
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Analyze individual workloads end to end.")
+    Term.(const run $ config_term $ names)
+
+let workloads_cmd =
+  let run () =
+    Array.iter
+      (fun e ->
+        Printf.printf "%-12s (designed quadrant Q-%s)\n" e.Workload.Catalog.name
+          (match e.Workload.Catalog.expected_quadrant with
+          | 1 -> "I"
+          | 2 -> "II"
+          | 3 -> "III"
+          | _ -> "IV"))
+      Workload.Catalog.all
+  in
+  Cmd.v
+    (Cmd.info "workloads" ~doc:"List the 50 catalog workloads.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "repro" ~version:"1.0.0"
+      ~doc:
+        "Reproduce 'The Fuzzy Correlation between Code and Performance Predictability' \
+         (MICRO-37, 2004) on simulated hardware."
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; analyze_cmd; workloads_cmd ]))

@@ -1,0 +1,1 @@
+examples/characterize_suite.ml: Fuzzy List Printf

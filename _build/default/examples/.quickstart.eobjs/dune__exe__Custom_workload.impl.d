@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Dbengine Format Fuzzy Printf Stats Workload

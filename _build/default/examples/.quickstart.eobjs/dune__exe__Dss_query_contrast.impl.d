@@ -1,0 +1,1 @@
+examples/dss_query_contrast.ml: Float Fuzzy Printf Sampling Stats

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Fuzzy Printf Sys

@@ -1,0 +1,1 @@
+examples/simpoint_picker.ml: Array Fuzzy List Printf Stats Sys

@@ -1,0 +1,1 @@
+examples/simpoint_picker.mli:

@@ -1,0 +1,1 @@
+examples/trace_workflow.ml: Array Filename List March Printf Rtree Sampling Stats Sys Workload

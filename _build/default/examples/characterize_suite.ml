@@ -1,0 +1,32 @@
+(* Characterize a benchmark suite: classify several workloads into the
+   paper's four quadrants and recommend a sampling technique for each —
+   the methodology the paper proposes for simulation-sampling studies.
+
+   Run with:  dune exec examples/characterize_suite.exe *)
+
+let suite = [ "odb_c"; "sjas"; "odb_h_q13"; "odb_h_q18"; "gzip"; "gcc"; "mcf"; "mgrid" ]
+
+let () =
+  let config =
+    { Fuzzy.Analysis.default with Fuzzy.Analysis.intervals = 96; scale = 0.6 }
+  in
+  let results =
+    List.map
+      (fun name ->
+        Printf.printf "analyzing %-10s ...\n%!" name;
+        Fuzzy.Analysis.analyze config name)
+      suite
+  in
+  print_newline ();
+  print_string (Fuzzy.Report.analysis_table results);
+  print_newline ();
+  print_string (Fuzzy.Report.quadrant_counts results);
+  print_newline ();
+  List.iter
+    (fun (a : Fuzzy.Analysis.t) ->
+      Printf.printf "%-10s -> sample with %s\n" a.Fuzzy.Analysis.name
+        (Fuzzy.Techniques.to_string (Fuzzy.Techniques.recommend a.Fuzzy.Analysis.quadrant)))
+    results;
+  print_newline ();
+  print_endline
+    "No single technique is recommended across the suite -- the paper's conclusion.";

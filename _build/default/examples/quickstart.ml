@@ -1,0 +1,26 @@
+(* Quickstart: measure how predictable a workload's CPI is from its
+   program counters alone.
+
+   Run with:  dune exec examples/quickstart.exe [workload]
+
+   The pipeline is the paper's: simulate the workload on the Itanium 2
+   model under a VTune-like sampler, build EIP vectors over fixed
+   instruction intervals, grow cross-validated regression trees, and read
+   off the relative error curve. *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "odb_h_q13" in
+  (* A reduced scale keeps this example under ~20s; use
+     Fuzzy.Analysis.default for full experiment fidelity. *)
+  let config = { Fuzzy.Analysis.default with Fuzzy.Analysis.intervals = 96 } in
+  Printf.printf "Analyzing %s (%d intervals of %d samples)...\n%!" name
+    config.Fuzzy.Analysis.intervals config.Fuzzy.Analysis.samples_per_interval;
+  let a = Fuzzy.Analysis.analyze config name in
+  Format.printf "%a@.@." Fuzzy.Analysis.pp_summary a;
+  print_string (Fuzzy.Report.re_curve a.Fuzzy.Analysis.curve);
+  Printf.printf "\n%s: %s\n"
+    (Fuzzy.Quadrant.to_string a.Fuzzy.Analysis.quadrant)
+    (Fuzzy.Quadrant.description a.Fuzzy.Analysis.quadrant);
+  Printf.printf "\nRecommended sampling technique: %s\n  (%s)\n"
+    (Fuzzy.Techniques.to_string (Fuzzy.Techniques.recommend a.Fuzzy.Analysis.quadrant))
+    (Fuzzy.Techniques.rationale a.Fuzzy.Analysis.quadrant)

@@ -1,0 +1,34 @@
+(* SimPoint-style simulation-point selection, and when it goes wrong.
+
+   Given a measured run, pick a handful of representative intervals with
+   each sampling technique and estimate whole-program CPI from just those
+   intervals — the core trade-off behind sampled simulation.  On a
+   strong-phase (Q-IV) workload phase-based picking shines; on a
+   code-blind (Q-III) workload it can mislead, which is exactly why the
+   paper argues for quadrant-aware technique selection.
+
+   Run with:  dune exec examples/simpoint_picker.exe [budget] *)
+
+let workloads = [ ("odb_h_q13", "Q-IV: strong phases"); ("odb_h_q18", "Q-III: code-blind") ]
+
+let () =
+  let budget = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 8 in
+  let config = { Fuzzy.Analysis.default with Fuzzy.Analysis.intervals = 128 } in
+  List.iter
+    (fun (name, blurb) ->
+      let a = Fuzzy.Analysis.analyze config name in
+      Printf.printf "=== %s (%s) ===\n" name blurb;
+      let rng = Stats.Rng.create 77 in
+      List.iter
+        (fun t ->
+          let e = Fuzzy.Techniques.estimate t rng a.Fuzzy.Analysis.eipv ~budget in
+          Printf.printf
+            "  %-12s picked %2d intervals: estimated CPI %.3f vs true %.3f (error %s)\n"
+            (Fuzzy.Techniques.to_string t)
+            (List.length e.Fuzzy.Techniques.picked)
+            e.Fuzzy.Techniques.estimated_cpi e.Fuzzy.Techniques.true_cpi
+            (Stats.Table.fmt_pct e.Fuzzy.Techniques.rel_error))
+        Fuzzy.Techniques.all;
+      Printf.printf "  quadrant-aware recommendation: %s\n\n"
+        (Fuzzy.Techniques.to_string (Fuzzy.Techniques.recommend a.Fuzzy.Analysis.quadrant)))
+    workloads

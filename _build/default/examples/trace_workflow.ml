@@ -1,0 +1,51 @@
+(* Collect-once / analyze-many: the workflow the paper's tooling used
+   (hours of VTune collection, offline R analysis).
+
+   1. simulate a workload and save the sample trace to disk;
+   2. reload it and re-analyze at several EIPV interval sizes without
+      re-running the machine model (the Section 7.1 sensitivity study);
+   3. ask which EIPs carry the CPI signal via tree feature importance.
+
+   Run with:  dune exec examples/trace_workflow.exe [workload] [trace.txt] *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "odb_h_q13" in
+  let path =
+    if Array.length Sys.argv > 2 then Sys.argv.(2)
+    else Filename.concat (Filename.get_temp_dir_name ()) (name ^ ".fuzzytrace")
+  in
+  (* Collect. *)
+  let w = (Workload.Catalog.find name).Workload.Catalog.build ~seed:42 ~scale:1.0 in
+  let cpu = March.Cpu.create March.Config.itanium2 in
+  Printf.printf "collecting %s (12800 samples)...\n%!" name;
+  let run = Sampling.Driver.run w ~cpu ~rng:(Stats.Rng.create 7) ~samples:12_800 in
+  Sampling.Trace_io.save run ~path;
+  Printf.printf "trace saved to %s\n\n" path;
+  (* Re-analyze offline at several interval sizes. *)
+  let reloaded = Sampling.Trace_io.load ~path in
+  List.iter
+    (fun spi ->
+      let ev = Sampling.Eipv.build reloaded ~samples_per_interval:spi in
+      let curve =
+        Rtree.Cv.relative_error_curve ~kmax:25 (Stats.Rng.create 5)
+          (Sampling.Eipv.dataset ev)
+      in
+      Printf.printf "interval = %3d samples: CPI var %.5f, min RE %.3f at k=%d\n" spi
+        (Sampling.Eipv.cpi_variance ev) (Rtree.Cv.re_min curve) (Rtree.Cv.k_at_min curve))
+    [ 100; 50; 10 ];
+  (* Which code carries the signal? *)
+  let ev = Sampling.Eipv.build reloaded ~samples_per_interval:100 in
+  let tree = Rtree.Tree.build ~max_leaves:10 (Sampling.Eipv.dataset ev) in
+  print_newline ();
+  (match Rtree.Tree.feature_importance tree with
+  | [] -> print_endline "no EIP carries predictive signal"
+  | imp ->
+      print_endline "most CPI-predictive EIPs:";
+      List.iteri
+        (fun i (f, share) ->
+          if i < 5 then
+            let eip = ev.Sampling.Eipv.eip_of_feature.(f) in
+            Printf.printf "  EIP 0x%x (region %d): %s\n" eip
+              (Workload.Code_map.eip_region eip)
+              (Stats.Table.fmt_pct share))
+        imp)

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Format March Quadrant Rtree Sampling Stats Workload

@@ -1,0 +1,1 @@
+lib/core/compare.ml: Float Kmeans List Rtree Sampling

@@ -1,0 +1,1 @@
+lib/core/example.ml: Array Format Hashtbl List Printf Rtree Stats

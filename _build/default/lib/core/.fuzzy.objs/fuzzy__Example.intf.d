@@ -1,0 +1,1 @@
+lib/core/example.mli: Rtree

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Analysis Array Buffer Compare Dbengine Example Float Hashtbl List March Phase_detect Printf Quadrant Report Robustness Rtree Sampling Stats String Techniques Workload

@@ -1,0 +1,1 @@
+lib/core/phase_detect.ml: Array Bytes Float Int64 Rtree Sampling Stats

@@ -1,0 +1,1 @@
+lib/core/quadrant.ml: Format Printf

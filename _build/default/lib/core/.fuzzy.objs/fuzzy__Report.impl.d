@@ -1,0 +1,1 @@
+lib/core/report.ml: Analysis Array Buffer Compare Float Fun Hashtbl List March Printf Quadrant Robustness Rtree Sampling Stats Techniques

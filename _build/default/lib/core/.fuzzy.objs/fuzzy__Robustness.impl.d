@@ -1,0 +1,1 @@
+lib/core/robustness.ml: Analysis List March Quadrant Sampling Stats Workload

@@ -1,0 +1,1 @@
+lib/core/techniques.ml: Array Float Kmeans List Quadrant Sampling Stats

@@ -1,0 +1,1 @@
+lib/core/techniques.mli: Quadrant Sampling Stats

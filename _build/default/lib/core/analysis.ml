@@ -1,0 +1,103 @@
+type config = {
+  seed : int;
+  scale : float;
+  machine : March.Config.t;
+  intervals : int;
+  samples_per_interval : int;
+  period : int;
+  kmax : int;
+  folds : int;
+  kopt_tol : float;
+}
+
+let default =
+  {
+    seed = 42;
+    scale = 1.0;
+    machine = March.Config.itanium2;
+    intervals = 256;
+    samples_per_interval = 100;
+    period = 20_000;
+    kmax = 50;
+    folds = 10;
+    kopt_tol = 0.005;
+  }
+
+let quick =
+  { default with intervals = 48; samples_per_interval = 50; scale = 0.25; kmax = 25 }
+
+type t = {
+  name : string;
+  config : config;
+  run : Sampling.Driver.run;
+  eipv : Sampling.Eipv.t;
+  cpi : float;
+  cpi_variance : float;
+  curve : Rtree.Cv.curve;
+  kopt : int;
+  re_kopt : float;
+  re_final : float;
+  quadrant : Quadrant.t;
+  breakdown : March.Breakdown.t;
+  unique_eips : int;
+  os_fraction : float;
+  switches_per_minstr : float;
+}
+
+let mean_breakdown (eipv : Sampling.Eipv.t) =
+  let acc =
+    Array.fold_left
+      (fun acc iv -> March.Breakdown.add acc iv.Sampling.Eipv.breakdown)
+      March.Breakdown.zero eipv.Sampling.Eipv.intervals
+  in
+  March.Breakdown.scale acc (1.0 /. float_of_int (Array.length eipv.Sampling.Eipv.intervals))
+
+let of_intervals config ~name ~run eipv =
+  let cpis = Sampling.Eipv.cpis eipv in
+  let cpi_variance = Stats.Describe.variance cpis in
+  let ds = Sampling.Eipv.dataset eipv in
+  let curve =
+    Rtree.Cv.relative_error_curve ~folds:config.folds ~kmax:config.kmax
+      (Stats.Rng.create (config.seed + 1))
+      ds
+  in
+  let kopt = Rtree.Cv.kopt curve ~tol:config.kopt_tol in
+  let re_kopt = Rtree.Cv.re_at curve kopt in
+  let re_final = Rtree.Cv.re_final curve in
+  {
+    name;
+    config;
+    run;
+    eipv;
+    cpi = Sampling.Driver.cpi run;
+    cpi_variance;
+    curve;
+    kopt;
+    re_kopt;
+    re_final;
+    quadrant = Quadrant.classify ~cpi_variance ~re:re_kopt ();
+    breakdown = mean_breakdown eipv;
+    unique_eips = Sampling.Driver.unique_eips run;
+    os_fraction = Sampling.Driver.os_fraction run;
+    switches_per_minstr = Sampling.Driver.context_switches_per_minstr run;
+  }
+
+let analyze_model config model =
+  let cpu = March.Cpu.create config.machine in
+  let rng = Stats.Rng.create config.seed in
+  let samples = config.intervals * config.samples_per_interval in
+  let run = Sampling.Driver.run ~period:config.period model ~cpu ~rng ~samples in
+  let eipv = Sampling.Eipv.build run ~samples_per_interval:config.samples_per_interval in
+  of_intervals config ~name:model.Workload.Model.name ~run eipv
+
+let analyze config name =
+  let entry = Workload.Catalog.find name in
+  analyze_model config (entry.Workload.Catalog.build ~seed:config.seed ~scale:config.scale)
+
+let exe_fraction t = March.Breakdown.exe_fraction t.breakdown
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "%s: cpi=%.3f var=%.5f re_kopt=%.3f (k_opt=%d) re_final=%.3f quadrant=%a unique_eips=%d"
+    t.name t.cpi t.cpi_variance t.re_kopt t.kopt t.re_final Quadrant.pp t.quadrant
+    t.unique_eips

@@ -1,0 +1,51 @@
+(** End-to-end predictability analysis: workload -> samples -> EIPVs ->
+    cross-validated RE curve -> quadrant.  This is the pipeline every
+    experiment in the paper runs. *)
+
+type config = {
+  seed : int;
+  scale : float;  (** workload data-size multiplier *)
+  machine : March.Config.t;
+  intervals : int;
+  samples_per_interval : int;
+  period : int;  (** retired instructions per sample *)
+  kmax : int;
+  folds : int;
+  kopt_tol : float;  (** the paper's 0.5% rule for k_opt *)
+}
+
+val default : config
+(** Full experiment scale: 256 intervals of 100 samples of 20k
+    instructions on the Itanium 2 model. *)
+
+val quick : config
+(** Test scale: 48 intervals, reduced data sets. *)
+
+type t = {
+  name : string;
+  config : config;
+  run : Sampling.Driver.run;
+  eipv : Sampling.Eipv.t;
+  cpi : float;
+  cpi_variance : float;
+  curve : Rtree.Cv.curve;
+  kopt : int;
+  re_kopt : float;
+  re_final : float;
+  quadrant : Quadrant.t;
+  breakdown : March.Breakdown.t;  (** mean per-instruction CPI components *)
+  unique_eips : int;
+  os_fraction : float;
+  switches_per_minstr : float;
+}
+
+val analyze_model : config -> Workload.Model.t -> t
+val analyze : config -> string -> t
+(** Look the workload up in {!Workload.Catalog} and analyze it. *)
+
+val of_intervals : config -> name:string -> run:Sampling.Driver.run -> Sampling.Eipv.t -> t
+(** Analyze pre-built intervals (used for per-thread EIPVs and interval-
+    size sweeps). *)
+
+val exe_fraction : t -> float
+val pp_summary : Format.formatter -> t -> unit

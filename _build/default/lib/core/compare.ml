@@ -1,0 +1,29 @@
+type t = {
+  name : string;
+  tree_re : float;
+  tree_k : int;
+  kmeans_re : float;
+  kmeans_k : int;
+  improvement : float;
+}
+
+let run ?(kmax = 50) rng ~name (eipv : Sampling.Eipv.t) =
+  let ds = Sampling.Eipv.dataset eipv in
+  let curve = Rtree.Cv.relative_error_curve ~kmax rng ds in
+  let tree_k = Rtree.Cv.k_at_min curve in
+  let tree_re = Rtree.Cv.re_min curve in
+  let points = Sampling.Eipv.points eipv in
+  let cpi = Sampling.Eipv.cpis eipv in
+  let kmeans_k, kmeans_re =
+    Kmeans.best_k_cv ~kmax rng ~n_features:eipv.Sampling.Eipv.n_features points ~cpi
+  in
+  let improvement = if kmeans_re <= 0.0 then 0.0 else (kmeans_re -. tree_re) /. kmeans_re in
+  { name; tree_re; tree_k; kmeans_re; kmeans_k; improvement }
+
+let mean_improvement results =
+  let usable = List.filter (fun r -> Float.is_finite r.improvement) results in
+  match usable with
+  | [] -> 0.0
+  | _ ->
+      List.fold_left (fun a r -> a +. r.improvement) 0.0 usable
+      /. float_of_int (List.length usable)

@@ -1,0 +1,26 @@
+(** The paper's worked example (Table 1 and Figure 1).
+
+    Eight hand-written EIPVs over three unique EIPs; the regression tree
+    grown on them reproduces Figure 1: root split (EIP_0, 20), left
+    subtree split on EIP_2 at 60, right subtree split on EIP_1 at 0,
+    yielding four chambers {EIPV4, EIPV5}, {EIPV2, EIPV6}, {EIPV0, EIPV1}
+    and {EIPV3, EIPV7}. *)
+
+val cpis : float array
+(** CPI of each of the 8 EIPVs. *)
+
+val counts : int array array
+(** [counts.(j).(i)] is the execution count (in millions) of EIP_i in
+    interval j — the body of Table 1. *)
+
+val dataset : unit -> Rtree.Dataset.t
+
+val tree : unit -> Rtree.Tree.t
+(** The 4-chamber regression tree of Figure 1. *)
+
+val chambers : unit -> (int list * float) list
+(** The leaf partition as (member EIPV indices, mean CPI) pairs, in
+    left-to-right leaf order. *)
+
+val render_table : unit -> string
+val render_tree : unit -> string

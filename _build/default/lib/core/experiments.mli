@@ -1,0 +1,25 @@
+(** One entry per table/figure/section-result of the paper.
+
+    Each experiment is a pure function from an {!Analysis.config} to a
+    printable report; the CLI (`bin/repro`) and the benchmark harness
+    (`bench/main`) both dispatch here, so DESIGN.md's per-experiment index
+    maps one-to-one onto {!all}. *)
+
+type t = {
+  id : string;  (** e.g. "fig2", "table2" *)
+  title : string;
+  paper_claim : string;  (** the shape being reproduced *)
+  run : Analysis.config -> string;
+}
+
+val all : t list
+val ids : string list
+val find : string -> t
+(** Raises [Not_found]. *)
+
+val analyze_cached : Analysis.config -> string -> Analysis.t
+(** Memoised {!Analysis.analyze}: several experiments reuse the same
+    workload runs (ODB-C and SjAS appear in Figures 2-7); the cache keys
+    on workload name and configuration. *)
+
+val clear_cache : unit -> unit

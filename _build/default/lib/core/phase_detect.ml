@@ -1,0 +1,84 @@
+type boundaries = bool array
+
+(* Deterministic integer hash (splitmix-style finaliser). *)
+let hash_int x =
+  let x = Int64.of_int x in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.logxor x (Int64.shift_right_logical x 31)) land max_int
+
+let working_set_signature ?(bits = 1024) ?(threshold = 0.5) (eipv : Sampling.Eipv.t) =
+  if bits <= 0 then invalid_arg "Phase_detect.working_set_signature: bits must be positive";
+  (* A sampled EIPV's singleton entries are sampling noise, not working
+     set: two intervals of the same phase share hot EIPs but almost never
+     the same tail.  Dhodapkar & Smith hashed the full working set; the
+     sampled analogue is the set of repeatedly-hit EIPs. *)
+  let min_count =
+    Float.max 2.0 (float_of_int eipv.Sampling.Eipv.samples_per_interval /. 32.0)
+  in
+  let signature iv =
+    let s = Bytes.make bits '\000' in
+    Stats.Sparse_vec.iter
+      (fun f c -> if c >= min_count then Bytes.set s (hash_int f mod bits) '\001')
+      iv.Sampling.Eipv.eipv;
+    s
+  in
+  let sigs = Array.map signature eipv.Sampling.Eipv.intervals in
+  Array.init
+    (Array.length sigs - 1)
+    (fun i ->
+      let a = sigs.(i) and b = sigs.(i + 1) in
+      let diff = ref 0 and union = ref 0 in
+      for j = 0 to bits - 1 do
+        let x = Bytes.get a j = '\001' and y = Bytes.get b j = '\001' in
+        if x || y then incr union;
+        if x <> y then incr diff
+      done;
+      !union > 0 && float_of_int !diff /. float_of_int !union > threshold)
+
+let eipv_cosine ?(threshold = 0.5) (eipv : Sampling.Eipv.t) =
+  let rows = Sampling.Eipv.points eipv in
+  let cosine a b =
+    let dot = ref 0.0 in
+    Stats.Sparse_vec.iter (fun f x -> dot := !dot +. (x *. Stats.Sparse_vec.get b f)) a;
+    let na = sqrt (Stats.Sparse_vec.norm2 a) and nb = sqrt (Stats.Sparse_vec.norm2 b) in
+    if na = 0.0 || nb = 0.0 then 1.0 else !dot /. (na *. nb)
+  in
+  Array.init (Array.length rows - 1) (fun i -> cosine rows.(i) rows.(i + 1) < threshold)
+
+let cpi_delta ?(threshold = 0.1) (eipv : Sampling.Eipv.t) =
+  let cpis = Sampling.Eipv.cpis eipv in
+  Array.init
+    (Array.length cpis - 1)
+    (fun i ->
+      let base = Float.max 1e-9 (Float.min cpis.(i) cpis.(i + 1)) in
+      Float.abs (cpis.(i + 1) -. cpis.(i)) /. base > threshold)
+
+let tree_chambers ?(k = 10) (eipv : Sampling.Eipv.t) =
+  let ds = Sampling.Eipv.dataset eipv in
+  let tree = Rtree.Tree.build ~max_leaves:k ds in
+  (* Identify the chamber by the path of split decisions. *)
+  let chamber row =
+    let rec go node acc =
+      match node with
+      | Rtree.Tree.Leaf _ -> acc
+      | Rtree.Tree.Split { feature; threshold; left; right; _ } ->
+          if Stats.Sparse_vec.get row feature <= threshold then go left ((2 * acc) + 1)
+          else go right ((2 * acc) + 2)
+    in
+    go (Rtree.Tree.root tree) 0
+  in
+  let chambers = Array.map chamber ds.Rtree.Dataset.rows in
+  Array.init (Array.length chambers - 1) (fun i -> chambers.(i) <> chambers.(i + 1))
+
+let change_count b = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 b
+
+let agreement a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Phase_detect.agreement: length mismatch";
+  if n = 0 then 1.0
+  else begin
+    let same = ref 0 in
+    Array.iteri (fun i x -> if x = b.(i) then incr same) a;
+    float_of_int !same /. float_of_int n
+  end

@@ -1,0 +1,44 @@
+(** On-line phase-change detectors (the Section 8 related-work methods).
+
+    Dhodapkar & Smith compared phase-detection techniques and found a
+    branch/working-set detector agreeing with BBV clustering ~83% of the
+    time; the paper argues this is easy when CPI variance is low and
+    misleading when CPI is code-blind.  This module implements three
+    detectors over a measured run's intervals so that claim can be
+    examined per quadrant:
+
+    - {b working-set signatures}: a hashed bit-vector of the EIPs seen in
+      each interval; a phase change is a large relative Hamming distance
+      (Dhodapkar & Smith's mechanism);
+    - {b CPI deltas}: change when consecutive instantaneous CPIs differ by
+      more than a relative threshold (what a performance-driven detector
+      would see);
+    - {b tree chambers}: change when consecutive intervals fall into
+      different chambers of the fitted regression tree (the paper's
+      CPI-optimal partition). *)
+
+type boundaries = bool array
+(** [b.(i)] is [true] when a phase change is detected between interval i
+    and i+1; length = intervals - 1. *)
+
+val working_set_signature :
+  ?bits:int -> ?threshold:float -> Sampling.Eipv.t -> boundaries
+(** Default 1024-bit signatures, relative-distance threshold 0.5. *)
+
+val cpi_delta : ?threshold:float -> Sampling.Eipv.t -> boundaries
+(** Default threshold 0.1 (10% relative CPI change). *)
+
+val eipv_cosine : ?threshold:float -> Sampling.Eipv.t -> boundaries
+(** Distribution-based detector: change when the cosine similarity of
+    consecutive EIPVs drops below [threshold] (default 0.5).  More robust
+    than set signatures under sparse sampling because it is dominated by
+    the hot EIPs. *)
+
+val tree_chambers : ?k:int -> Sampling.Eipv.t -> boundaries
+(** Chambers of a [k]-leaf (default 10) tree fitted to the whole run. *)
+
+val change_count : boundaries -> int
+
+val agreement : boundaries -> boundaries -> float
+(** Fraction of interval boundaries on which two detectors agree
+    (both "change" or both "stable"); 1.0 for identical verdicts. *)

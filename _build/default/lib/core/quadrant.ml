@@ -1,0 +1,39 @@
+type t = Q1 | Q2 | Q3 | Q4
+
+let default_var_threshold = 0.01
+let default_re_threshold = 0.15
+
+let classify ?(var_threshold = default_var_threshold) ?(re_threshold = default_re_threshold)
+    ~cpi_variance ~re () =
+  match cpi_variance <= var_threshold, re <= re_threshold with
+  | true, false -> Q1
+  | true, true -> Q2
+  | false, false -> Q3
+  | false, true -> Q4
+
+let to_string = function Q1 -> "Q-I" | Q2 -> "Q-II" | Q3 -> "Q-III" | Q4 -> "Q-IV"
+let to_int = function Q1 -> 1 | Q2 -> 2 | Q3 -> 3 | Q4 -> 4
+
+let of_int = function
+  | 1 -> Q1
+  | 2 -> Q2
+  | 3 -> Q3
+  | 4 -> Q4
+  | n -> invalid_arg (Printf.sprintf "Quadrant.of_int: %d" n)
+
+let description = function
+  | Q1 ->
+      "insignificant CPI variance, weak phase behaviour: a few random or \
+       uniform samples capture CPI"
+  | Q2 ->
+      "low CPI variance fully explained by EIPVs: phase-based sampling works \
+       but offers little advantage over uniform sampling"
+  | Q3 ->
+      "high CPI variance that EIPVs cannot explain: CPI is set by \
+       data-dependent microarchitectural bottlenecks; statistical (random) \
+       sampling is required"
+  | Q4 ->
+      "high CPI variance strongly explained by EIPVs: ideal candidate for \
+       phase-based trace sampling with a few representative samples"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

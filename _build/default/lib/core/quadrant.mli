@@ -1,0 +1,25 @@
+(** Quadrant classification of workloads (the paper's Section 7,
+    Figure 13).
+
+    The two axes are CPI variance (how much there is to explain) and the
+    cross-validated relative error of predicting CPI from EIPVs (how much
+    of it code explains).  The paper's thresholds are 0.01 for variance
+    and 0.15 for RE. *)
+
+type t =
+  | Q1  (** low variance, weak phase behaviour: CPI flat and code-blind *)
+  | Q2  (** low variance, strong phase behaviour *)
+  | Q3  (** high variance, weak phase behaviour: the hard quadrant *)
+  | Q4  (** high variance, strong phase behaviour: ideal for phase-based
+            sampling *)
+
+val default_var_threshold : float
+val default_re_threshold : float
+
+val classify : ?var_threshold:float -> ?re_threshold:float -> cpi_variance:float -> re:float -> unit -> t
+
+val to_string : t -> string
+val to_int : t -> int
+val of_int : int -> t
+val description : t -> string
+val pp : Format.formatter -> t -> unit

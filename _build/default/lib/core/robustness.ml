@@ -1,0 +1,60 @@
+type machine_row = {
+  workload : string;
+  machine : string;
+  cpi : float;
+  cpi_variance : float;
+  re_kopt : float;
+  quadrant : Quadrant.t;
+}
+
+let machines (config : Analysis.config) ~workloads ~machines =
+  List.concat_map
+    (fun name ->
+      List.map
+        (fun m ->
+          let a = Analysis.analyze { config with machine = m } name in
+          {
+            workload = name;
+            machine = m.March.Config.name;
+            cpi = a.Analysis.cpi;
+            cpi_variance = a.Analysis.cpi_variance;
+            re_kopt = a.Analysis.re_kopt;
+            quadrant = a.Analysis.quadrant;
+          })
+        machines)
+    workloads
+
+type interval_row = {
+  name : string;
+  divisor : int;
+  samples_per_interval : int;
+  cpi_variance : float;
+  re_kopt : float;
+  quadrant : Quadrant.t;
+}
+
+let interval_sizes (config : Analysis.config) ~workloads ~divisors =
+  List.concat_map
+    (fun name ->
+      let entry = Workload.Catalog.find name in
+      let model = entry.Workload.Catalog.build ~seed:config.Analysis.seed ~scale:config.Analysis.scale in
+      let cpu = March.Cpu.create config.Analysis.machine in
+      let rng = Stats.Rng.create config.Analysis.seed in
+      let samples = config.Analysis.intervals * config.Analysis.samples_per_interval in
+      let run = Sampling.Driver.run ~period:config.Analysis.period model ~cpu ~rng ~samples in
+      List.map
+        (fun divisor ->
+          if divisor <= 0 then invalid_arg "Robustness.interval_sizes: divisor must be positive";
+          let spi = max 2 (config.Analysis.samples_per_interval / divisor) in
+          let eipv = Sampling.Eipv.build run ~samples_per_interval:spi in
+          let a = Analysis.of_intervals config ~name ~run eipv in
+          {
+            name;
+            divisor;
+            samples_per_interval = spi;
+            cpi_variance = a.Analysis.cpi_variance;
+            re_kopt = a.Analysis.re_kopt;
+            quadrant = a.Analysis.quadrant;
+          })
+        divisors)
+    workloads

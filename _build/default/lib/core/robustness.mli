@@ -1,0 +1,39 @@
+(** The paper's Section 7.1 robustness studies.
+
+    (a) Machine sensitivity: repeat the analysis on the Pentium 4 (no
+    large L3, deep pipeline) and Xeon models.  Expected shape: CPI
+    variance rises on both (especially for cache-hungry benchmarks on the
+    L3-less P4), while the relative error changes moderately.
+
+    (b) EIPV interval size: rebuild EIPVs from the same samples at 1/2 and
+    1/10 of the interval (the paper's 50M and 10M vs 100M instructions).
+    Expected shape: both CPI variance and RE increase as intervals
+    shrink, pushing borderline Q-IV workloads into Q-III. *)
+
+type machine_row = {
+  workload : string;
+  machine : string;
+  cpi : float;
+  cpi_variance : float;
+  re_kopt : float;
+  quadrant : Quadrant.t;
+}
+
+val machines :
+  Analysis.config -> workloads:string list -> machines:March.Config.t list -> machine_row list
+(** Cross product, in the given order. *)
+
+type interval_row = {
+  name : string;
+  divisor : int;  (** 1, 2, 10 *)
+  samples_per_interval : int;
+  cpi_variance : float;
+  re_kopt : float;
+  quadrant : Quadrant.t;
+}
+
+val interval_sizes :
+  Analysis.config -> workloads:string list -> divisors:int list -> interval_row list
+(** Each workload is simulated once; EIPVs are rebuilt per divisor from
+    the same sample stream (exactly the paper's procedure of keeping the
+    VTune sampling rate fixed). *)

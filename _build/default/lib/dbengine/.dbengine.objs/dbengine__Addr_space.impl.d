@@ -1,0 +1,1 @@
+lib/dbengine/addr_space.ml:

@@ -1,0 +1,1 @@
+lib/dbengine/btree.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/dbengine/bufcache.ml: Cache_lru

@@ -1,0 +1,1 @@
+lib/dbengine/cache_lru.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/dbengine/cache_lru.mli:

@@ -1,0 +1,1 @@
+lib/dbengine/heap.ml: Addr_space

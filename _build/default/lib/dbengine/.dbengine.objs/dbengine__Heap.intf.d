@@ -1,0 +1,1 @@
+lib/dbengine/heap.mli: Addr_space

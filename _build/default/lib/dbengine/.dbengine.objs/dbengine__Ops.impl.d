@@ -1,0 +1,1 @@
+lib/dbengine/ops.ml: Addr_space Btree Bufcache Heap List Sink Stats

@@ -1,0 +1,1 @@
+lib/dbengine/ops.mli: Addr_space Btree Bufcache Heap Sink Stats

@@ -1,0 +1,1 @@
+lib/dbengine/optimizer.ml: Float

@@ -1,0 +1,1 @@
+lib/dbengine/query.ml: Array Ops

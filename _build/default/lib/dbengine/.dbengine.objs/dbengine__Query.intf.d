@@ -1,0 +1,1 @@
+lib/dbengine/query.mli: Ops Sink

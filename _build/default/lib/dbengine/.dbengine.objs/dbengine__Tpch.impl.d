@@ -1,0 +1,1 @@
+lib/dbengine/tpch.ml: Addr_space Array Btree Bufcache Float Heap Ops Optimizer Printf Query Stats

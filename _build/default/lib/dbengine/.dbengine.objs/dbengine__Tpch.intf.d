@@ -1,0 +1,1 @@
+lib/dbengine/tpch.mli: Addr_space Btree Bufcache Heap Ops Optimizer Query

@@ -1,0 +1,274 @@
+type node = {
+  id : int;
+  mutable keys : int array;
+  mutable kind : kind;
+}
+
+and kind =
+  | Leaf of { mutable values : int array }
+  | Internal of { mutable children : node array }
+
+type t = {
+  fanout : int;
+  node_bytes : int;
+  base_addr : int;
+  mutable root : node;
+  mutable next_id : int;
+  mutable n_keys : int;
+}
+
+let new_node t keys kind =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  { id; keys; kind }
+
+let create ?(fanout = 32) ~node_bytes ~base_addr () =
+  if fanout < 4 then invalid_arg "Btree.create: fanout must be >= 4";
+  if node_bytes <= 0 then invalid_arg "Btree.create: node_bytes must be positive";
+  let t =
+    { fanout; node_bytes; base_addr; root = { id = 0; keys = [||]; kind = Leaf { values = [||] } };
+      next_id = 0; n_keys = 0 }
+  in
+  t.root <- new_node t [||] (Leaf { values = [||] });
+  t
+
+let addr_of t node = t.base_addr + (node.id * t.node_bytes)
+
+let bulk_load t pairs =
+  if t.n_keys <> 0 then invalid_arg "Btree.bulk_load: tree not empty";
+  let n = Array.length pairs in
+  if n = 0 then ()
+  else begin
+    for i = 1 to n - 1 do
+      if fst pairs.(i) <= fst pairs.(i - 1) then
+        invalid_arg "Btree.bulk_load: keys must be strictly increasing"
+    done;
+    let per_leaf = max 2 (t.fanout * 3 / 4) in
+    (* Build the leaf level. *)
+    let leaves = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let len = min per_leaf (n - !i) in
+      let keys = Array.init len (fun j -> fst pairs.(!i + j)) in
+      let values = Array.init len (fun j -> snd pairs.(!i + j)) in
+      leaves := new_node t keys (Leaf { values }) :: !leaves;
+      i := !i + len
+    done;
+    let level = ref (Array.of_list (List.rev !leaves)) in
+    (* Build internal levels until a single root remains.  Separator i of
+       an internal node is the smallest key reachable under child i+1 —
+       for internal children that is the minimum of the leftmost leaf, not
+       the child's own first separator. *)
+    let rec min_key node =
+      match node.kind with
+      | Leaf _ -> node.keys.(0)
+      | Internal { children } -> min_key children.(0)
+    in
+    while Array.length !level > 1 do
+      let children = !level in
+      let m = Array.length children in
+      let per_node = max 2 (t.fanout * 3 / 4) in
+      let parents = ref [] in
+      let j = ref 0 in
+      while !j < m do
+        (* Never leave a single orphan child for the last group: shrink the
+           current group by one instead (per_node >= 3 keeps len >= 2). *)
+        let remaining = m - !j in
+        let len =
+          if remaining <= per_node then remaining
+          else if remaining - per_node = 1 then per_node - 1
+          else per_node
+        in
+        let kids = Array.sub children !j len in
+        let keys = Array.init (len - 1) (fun x -> min_key kids.(x + 1)) in
+        parents := new_node t keys (Internal { children = kids }) :: !parents;
+        j := !j + len
+      done;
+      level := Array.of_list (List.rev !parents)
+    done;
+    t.root <- !level.(0);
+    t.n_keys <- n
+  end
+
+(* Index of the child to descend into: first separator > key determines
+   the branch. *)
+let child_index keys key =
+  let n = Array.length keys in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if key < keys.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let leaf_find keys key =
+  let n = Array.length keys in
+  let rec go lo hi =
+    if lo > hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      if keys.(mid) = key then Some mid
+      else if keys.(mid) < key then go (mid + 1) hi
+      else go lo (mid - 1)
+  in
+  go 0 (n - 1)
+
+let find_trace t key =
+  let rec go node acc =
+    let acc = addr_of t node :: acc in
+    match node.kind with
+    | Leaf { values } -> (
+        match leaf_find node.keys key with
+        | Some i -> (List.rev acc, Some values.(i))
+        | None -> (List.rev acc, None))
+    | Internal { children } -> go children.(child_index node.keys key) acc
+  in
+  go t.root []
+
+let find t key = snd (find_trace t key)
+
+let array_insert a i x =
+  let n = Array.length a in
+  let b = Array.make (n + 1) x in
+  Array.blit a 0 b 0 i;
+  Array.blit a i b (i + 1) (n - i);
+  b
+
+(* Insertion result: the child either absorbed the key or split, promoting
+   a separator and a new right sibling. *)
+type ins = Ok | Split of int * node
+
+let insert t ~key ~value =
+  let rec go node =
+    match node.kind with
+    | Leaf lf -> (
+        match leaf_find node.keys key with
+        | Some i ->
+            lf.values.(i) <- value;
+            Ok
+        | None ->
+            let pos = child_index node.keys key in
+            node.keys <- array_insert node.keys pos key;
+            lf.values <- array_insert lf.values pos value;
+            t.n_keys <- t.n_keys + 1;
+            if Array.length node.keys <= t.fanout then Ok
+            else begin
+              let n = Array.length node.keys in
+              let mid = n / 2 in
+              let rkeys = Array.sub node.keys mid (n - mid) in
+              let rvals = Array.sub lf.values mid (n - mid) in
+              node.keys <- Array.sub node.keys 0 mid;
+              lf.values <- Array.sub lf.values 0 mid;
+              let right = new_node t rkeys (Leaf { values = rvals }) in
+              Split (rkeys.(0), right)
+            end)
+    | Internal inode -> (
+        let ci = child_index node.keys key in
+        match go inode.children.(ci) with
+        | Ok -> Ok
+        | Split (sep, right) ->
+            node.keys <- array_insert node.keys ci sep;
+            inode.children <- array_insert inode.children (ci + 1) right;
+            if Array.length inode.children <= t.fanout then Ok
+            else begin
+              let nk = Array.length node.keys in
+              let mid = nk / 2 in
+              let promoted = node.keys.(mid) in
+              let rkeys = Array.sub node.keys (mid + 1) (nk - mid - 1) in
+              let rchildren =
+                Array.sub inode.children (mid + 1) (Array.length inode.children - mid - 1)
+              in
+              node.keys <- Array.sub node.keys 0 mid;
+              inode.children <- Array.sub inode.children 0 (mid + 1);
+              let right = new_node t rkeys (Internal { children = rchildren }) in
+              Split (promoted, right)
+            end)
+  in
+  match go t.root with
+  | Ok -> ()
+  | Split (sep, right) ->
+      let old_root = t.root in
+      t.root <- new_node t [| sep |] (Internal { children = [| old_root; right |] })
+
+let range_trace t ~lo ~hi f =
+  let touched = ref [] in
+  let rec go node =
+    touched := addr_of t node :: !touched;
+    match node.kind with
+    | Leaf { values } ->
+        Array.iteri (fun i k -> if k >= lo && k <= hi then f k values.(i)) node.keys
+    | Internal { children } ->
+        (* Visit every child whose key range can intersect [lo, hi]. *)
+        let first = child_index node.keys lo and last = child_index node.keys hi in
+        for i = first to last do
+          go children.(i)
+        done
+  in
+  go t.root;
+  List.rev !touched
+
+let height t =
+  let rec go node = match node.kind with Leaf _ -> 1 | Internal { children } -> 1 + go children.(0) in
+  go t.root
+
+let n_keys t = t.n_keys
+let n_nodes t = t.next_id
+let footprint_bytes t = t.next_id * t.node_bytes
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let rec check node depth =
+    let sorted a =
+      let ok = ref true in
+      for i = 1 to Array.length a - 1 do
+        if a.(i) <= a.(i - 1) then ok := false
+      done;
+      !ok
+    in
+    if not (sorted node.keys) then fail "Btree: node %d keys not strictly sorted" node.id;
+    match node.kind with
+    | Leaf { values } ->
+        if Array.length values <> Array.length node.keys then
+          fail "Btree: leaf %d keys/values arity mismatch" node.id;
+        if Array.length node.keys > t.fanout then fail "Btree: leaf %d overfull" node.id;
+        (depth, Array.length node.keys)
+    | Internal { children } ->
+        if Array.length children <> Array.length node.keys + 1 then
+          fail "Btree: internal %d children arity mismatch" node.id;
+        if Array.length children > t.fanout + 1 then fail "Btree: internal %d overfull" node.id;
+        let depths = Array.map (fun c -> fst (check c (depth + 1))) children in
+        Array.iter
+          (fun d -> if d <> depths.(0) then fail "Btree: unbalanced under node %d" node.id)
+          depths;
+        (* Separator consistency: every key in child i+1 is >= keys.(i),
+           every key in child i is < keys.(i). *)
+        Array.iteri
+          (fun i sep ->
+            let rec min_key n =
+              match n.kind with
+              | Leaf _ -> if Array.length n.keys = 0 then sep else n.keys.(0)
+              | Internal { children } -> min_key children.(0)
+            in
+            let rec max_key n =
+              match n.kind with
+              | Leaf _ ->
+                  if Array.length n.keys = 0 then pred sep else n.keys.(Array.length n.keys - 1)
+              | Internal { children } -> max_key children.(Array.length children - 1)
+            in
+            if max_key children.(i) >= sep then
+              fail "Btree: separator %d violated on the left of node %d" sep node.id;
+            if min_key children.(i + 1) < sep then
+              fail "Btree: separator %d violated on the right of node %d" sep node.id)
+          node.keys;
+        (depth, Array.length node.keys)
+  in
+  ignore (check t.root 0);
+  (* Count keys. *)
+  let rec count node =
+    match node.kind with
+    | Leaf _ -> Array.length node.keys
+    | Internal { children } -> Array.fold_left (fun acc c -> acc + count c) 0 children
+  in
+  let c = count t.root in
+  if c <> t.n_keys then fail "Btree: key count %d does not match recorded %d" c t.n_keys

@@ -1,0 +1,17 @@
+(** Database buffer cache (the Oracle SGA in the paper's setup).
+
+    Page-granular LRU cache standing between operators and "disk": a miss
+    means the accessing thread blocks on I/O and yields the CPU — the
+    mechanism behind the server workloads' high context-switch rates. *)
+
+type t
+
+val create : pages:int -> page_bytes:int -> t
+(** Capacity is rounded up so the set count is a power of two. *)
+
+val touch : t -> int -> bool
+(** [touch t addr] returns [true] on a buffer hit. *)
+
+val hit_ratio : t -> float
+val misses : t -> int
+val reset_stats : t -> unit

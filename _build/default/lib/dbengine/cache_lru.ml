@@ -1,0 +1,80 @@
+(* Intrusive doubly-linked LRU list over array slots; the hash table maps
+   keys to slots. *)
+type t = {
+  capacity : int;
+  table : (int, int) Hashtbl.t;  (* key -> slot *)
+  keys : int array;
+  prev : int array;
+  next : int array;
+  mutable head : int;  (* most recently used; -1 when empty *)
+  mutable tail : int;  (* least recently used; -1 when empty *)
+  mutable size : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Cache_lru.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    keys = Array.make capacity 0;
+    prev = Array.make capacity (-1);
+    next = Array.make capacity (-1);
+    head = -1;
+    tail = -1;
+    size = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let unlink t slot =
+  let p = t.prev.(slot) and n = t.next.(slot) in
+  if p >= 0 then t.next.(p) <- n else t.head <- n;
+  if n >= 0 then t.prev.(n) <- p else t.tail <- p
+
+let push_front t slot =
+  t.prev.(slot) <- -1;
+  t.next.(slot) <- t.head;
+  if t.head >= 0 then t.prev.(t.head) <- slot;
+  t.head <- slot;
+  if t.tail < 0 then t.tail <- slot
+
+let access t key =
+  match Hashtbl.find_opt t.table key with
+  | Some slot ->
+      t.hits <- t.hits + 1;
+      if t.head <> slot then begin
+        unlink t slot;
+        push_front t slot
+      end;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      let slot =
+        if t.size < t.capacity then begin
+          let s = t.size in
+          t.size <- t.size + 1;
+          s
+        end
+        else begin
+          let victim = t.tail in
+          Hashtbl.remove t.table t.keys.(victim);
+          unlink t victim;
+          victim
+        end
+      in
+      t.keys.(slot) <- key;
+      Hashtbl.replace t.table key slot;
+      push_front t slot;
+      false
+
+let mem t key = Hashtbl.mem t.table key
+let size t = t.size
+let hits t = t.hits
+let misses t = t.misses
+let accesses t = t.hits + t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,17 @@
+(** Exact-capacity fully-associative LRU key cache (hash table + intrusive
+    doubly-linked list), used for the database buffer cache where the
+    hardware cache model's power-of-two set-associative geometry would be
+    wrong. *)
+
+type t
+
+val create : capacity:int -> t
+val access : t -> int -> bool
+(** [true] on hit; inserts and possibly evicts on miss. *)
+
+val mem : t -> int -> bool
+val size : t -> int
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,104 @@
+(** Relational operators as resumable step machines.
+
+    Each operator performs a bounded chunk of simulated work per [step]
+    call, writing its instruction counts, memory references and branch
+    outcomes into a {!Sink.t}.  The query runner and the workload scheduler
+    slice this stream into sampling quanta.
+
+    Pacing conventions (chosen so a ~20k-instruction sampling quantum
+    carries a few hundred memory references):
+    - sequential operators touch one address per 64-byte line;
+    - row processing costs tens of instructions (database executors are
+      instruction-hungry per row);
+    - loop branches are emitted per row (highly predictable), predicate
+      and comparison branches carry data-dependent directions. *)
+
+type status = More | Blocked | Done
+
+type t = {
+  name : string;
+  region : int;  (** code-region id for EIP attribution *)
+  step : Sink.t -> status;
+  reset : unit -> unit;
+}
+
+type ctx = {
+  rng : Stats.Rng.t;
+  buf : Bufcache.t option;  (** buffer cache; [None] = fully cached *)
+  yield_prob : float;  (** probability that a buffer miss blocks on I/O *)
+}
+
+val seq_scan :
+  ctx ->
+  region:int ->
+  heap:Heap.t ->
+  ?instr_per_row:int ->
+  ?selectivity:float ->
+  ?rows_per_step:int ->
+  unit ->
+  t
+(** Full scan of [heap]: sequential line-granular references, one
+    predictable loop branch and one [selectivity]-biased predicate branch
+    per row. *)
+
+val index_scan :
+  ctx ->
+  region:int ->
+  btree:Btree.t ->
+  heap:Heap.t ->
+  key_gen:(Stats.Rng.t -> int) ->
+  probes:int ->
+  ?instr_per_level:int ->
+  ?probes_per_step:int ->
+  ?heap_prob:float ->
+  unit ->
+  t
+(** [probes] random lookups: every B-tree node visited is a reference, the
+    matched row another; per-level comparison branches take data-dependent
+    directions, so a skewed [key_gen] makes both the cache and the branch
+    behaviour input-dependent (the paper's Q18 mechanism). *)
+
+val sort :
+  ctx ->
+  region:int ->
+  space:Addr_space.t ->
+  bytes:int ->
+  ?run_bytes:int ->
+  ?fanin:int ->
+  ?instr_per_line:int ->
+  ?lines_per_step:int ->
+  unit ->
+  t
+(** External merge sort of [bytes] of tuples: one sequential read plus one
+    sequential write per pass, a 50/50 comparison branch per line. *)
+
+val hash_join :
+  ctx ->
+  region:int ->
+  space:Addr_space.t ->
+  build:Heap.t ->
+  probe:Heap.t ->
+  ?match_prob:float ->
+  ?instr_per_row:int ->
+  ?rows_per_step:int ->
+  unit ->
+  t
+(** Build a hash table over [build] (random writes into a hash area sized
+    to the build side), then probe it with [probe] (random reads). *)
+
+val aggregate :
+  ctx ->
+  region:int ->
+  space:Addr_space.t ->
+  src:Heap.t ->
+  ?groups:int ->
+  ?instr_per_row:int ->
+  ?rows_per_step:int ->
+  unit ->
+  t
+(** Grouped aggregation: sequential scan with a random reference into a
+    (usually cache-resident) group array per row. *)
+
+val compute : ctx -> region:int -> instrs:int -> ?instr_per_step:int -> unit -> t
+(** Pure computation (expression evaluation, plan setup): instructions and
+    predictable branches only. *)

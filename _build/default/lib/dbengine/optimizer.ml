@@ -1,0 +1,32 @@
+type access_path = Seq_scan | Index_scan
+
+type cost_model = {
+  seq_row_cost : float;
+  index_node_cost : float;
+  index_heap_cost : float;
+}
+
+(* Rough instruction-count calibration against Ops: a scanned row costs
+   ~60 instructions; a B-tree node visit ~70 plus the random heap fetch,
+   which is also a likely cache miss (weighted heavier than its
+   instruction count alone). *)
+let default_cost_model = { seq_row_cost = 60.0; index_node_cost = 70.0; index_heap_cost = 260.0 }
+
+let seq_cost m ~rows = float_of_int rows *. m.seq_row_cost
+
+let index_cost m ~matching ~height =
+  float_of_int matching *. ((float_of_int height *. m.index_node_cost) +. m.index_heap_cost)
+
+let choose ?(model = default_cost_model) ~rows ~selectivity ~index_height () =
+  if selectivity < 0.0 || selectivity > 1.0 then
+    invalid_arg "Optimizer.choose: selectivity out of [0,1]";
+  let matching = int_of_float (Float.round (selectivity *. float_of_int rows)) in
+  if index_cost model ~matching ~height:index_height < seq_cost model ~rows then Index_scan
+  else Seq_scan
+
+let crossover_selectivity ?(model = default_cost_model) ~rows ~index_height () =
+  let per_match = (float_of_int index_height *. model.index_node_cost) +. model.index_heap_cost in
+  if per_match <= 0.0 then 1.0
+  else Float.max 0.0 (Float.min 1.0 (seq_cost model ~rows /. (per_match *. float_of_int rows)))
+
+let to_string = function Seq_scan -> "seq_scan" | Index_scan -> "index_scan"

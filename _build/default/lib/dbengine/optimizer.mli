@@ -1,0 +1,37 @@
+(** Cost-based access-path selection.
+
+    The paper traces the Q13/Q18 predictability split to one optimiser
+    decision: "the Oracle query optimizer uses a sequential scan in Q13,
+    and an index scan operation in Q18" (Section 6.2).  This module
+    implements that decision with the textbook cost model — sequential
+    I/O is cheap per row but touches every row; an index probe is cheap
+    per {e matching} row but pays a B-tree descent and a random heap
+    fetch — so the reproduction can ask the counterfactual: what happens
+    to Q18's predictability when the optimiser flips? *)
+
+type access_path = Seq_scan | Index_scan
+
+type cost_model = {
+  seq_row_cost : float;  (** per-row cost of a sequential scan *)
+  index_node_cost : float;  (** per-node cost of a B-tree descent *)
+  index_heap_cost : float;  (** per-match random heap fetch *)
+}
+
+val default_cost_model : cost_model
+(** Calibrated to the operator instruction costs in {!Ops}. *)
+
+val seq_cost : cost_model -> rows:int -> float
+
+val index_cost : cost_model -> matching:int -> height:int -> float
+
+val choose :
+  ?model:cost_model -> rows:int -> selectivity:float -> index_height:int -> unit -> access_path
+(** [selectivity] is the matching fraction in [\[0, 1\]].  Picks the
+    cheaper path; ties go to the sequential scan (it is
+    bandwidth-friendly). *)
+
+val crossover_selectivity : ?model:cost_model -> rows:int -> index_height:int -> unit -> float
+(** The selectivity at which the two paths cost the same (0 if the index
+    never wins, 1 if it always does). *)
+
+val to_string : access_path -> string

@@ -1,0 +1,40 @@
+type t = {
+  name : string;
+  ops : Ops.t array;
+  mutable cur : int;
+  mutable completed : int;
+}
+
+type progress = More | Blocked | Query_done
+
+let create ~name ~ops =
+  if Array.length ops = 0 then invalid_arg "Query.create: empty plan";
+  { name; ops; cur = 0; completed = 0 }
+
+let name t = t.name
+
+let rec step t sink =
+  let op = t.ops.(t.cur) in
+  match op.Ops.step sink with
+  | Ops.More -> More
+  | Ops.Blocked -> Blocked
+  | Ops.Done ->
+      if t.cur + 1 < Array.length t.ops then begin
+        t.cur <- t.cur + 1;
+        (* The next operator starts immediately within the same quantum. *)
+        step t sink
+      end
+      else begin
+        t.completed <- t.completed + 1;
+        Array.iter (fun o -> o.Ops.reset ()) t.ops;
+        t.cur <- 0;
+        Query_done
+      end
+
+let completed t = t.completed
+let current_op t = t.ops.(t.cur)
+
+let reset t =
+  Array.iter (fun o -> o.Ops.reset ()) t.ops;
+  t.cur <- 0;
+  t.completed <- 0

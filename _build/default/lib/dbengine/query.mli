@@ -1,0 +1,19 @@
+(** Query plan runner: executes a sequence of operators, restarting the
+    plan when it completes (the paper measures each ODB-H query during its
+    steady-state repetition). *)
+
+type t
+
+type progress = More | Blocked | Query_done
+
+val create : name:string -> ops:Ops.t array -> t
+val name : t -> string
+val step : t -> Sink.t -> progress
+(** Run one chunk of the current operator.  Crossing the end of the plan
+    resets every operator and reports [Query_done]. *)
+
+val completed : t -> int
+(** Number of complete plan executions so far. *)
+
+val current_op : t -> Ops.t
+val reset : t -> unit

@@ -1,0 +1,41 @@
+(** Event sink filled by the database operators while they "execute".
+
+    The sink accumulates the micro-trace of one scheduling quantum:
+    instruction counts attributed to code regions, data references, branch
+    outcomes and blocking I/O events.  The workload layer drains it into a
+    {!March.Quantum.t}. *)
+
+type t
+
+type drained = {
+  instrs : int;
+  region_instrs : (int * int) array;  (** (region id, instrs) pairs *)
+  addrs : int array;
+  writes : bool array;
+  branch_pcs : int array;
+  branch_taken : bool array;
+  io_waits : int;
+  extra_refs : int;  (** logical references beyond the emitted sample *)
+  extra_branches : int;
+}
+
+val create : unit -> t
+val instrs : t -> region:int -> int -> unit
+val data_ref : t -> ?write:bool -> int -> unit
+val branch : t -> pc:int -> taken:bool -> unit
+val io_wait : t -> unit
+
+val account_refs : t -> int -> unit
+(** Record [n] logical data references that are {e not} individually
+    emitted (the synthetic workloads emit a bounded sample of their
+    reference stream; the driver turns the ratio into the quantum's
+    [ref_weight]). *)
+
+val account_branches : t -> int -> unit
+(** Same for branches. *)
+
+val total_instrs : t -> int
+val n_refs : t -> int
+val io_waits : t -> int
+val drain : t -> drained
+(** Return everything accumulated and reset the sink. *)

@@ -1,0 +1,51 @@
+(** Synthetic DSS database and the 22 ODB-H query plans.
+
+    The schema follows the TPC-H outline the paper's ODB-H derives from
+    (lineitem / orders / customer / part / supplier), scaled so the big
+    tables exceed the largest simulated L3 by a wide margin while the small
+    dimension tables are cache-resident.  Plans are composed from the
+    operators in {!Ops}; their shapes implement the paper's taxonomy:
+
+    - {b scan-dominated} plans (Q1, Q6, Q14, Q15): repetitive streaming
+      with uniform miss behaviour;
+    - {b multi-phase} plans (Q3, Q4, Q5, Q7, Q8, Q9, Q10, Q12, Q13):
+      scan / join / sort phases with distinct code and distinct CPI —
+      strong EIP-CPI correlation (Section 6.1);
+    - {b index-scan} plans (Q2, Q16, Q17, Q18, Q19, Q20, Q21): B-tree
+      probes under drifting skewed key distributions — same code, data-
+      dependent CPI (Section 6.2);
+    - {b trivial} plans (Q11, Q22): small cache-resident lookups with
+      near-constant CPI. *)
+
+type db
+
+val create : ?scale:float -> ?buf_pages:int -> seed:int -> unit -> db
+(** [scale] (default 1.0) multiplies all table cardinalities;
+    [buf_pages] (default 4096) sizes the buffer cache. *)
+
+val query : db -> int -> Query.t
+(** [query db n] with n in 1..22 builds a fresh plan instance. *)
+
+val q18_variant : db -> access:Optimizer.access_path -> Query.t
+(** Q18 with the access path forced: [Index_scan] is the plan the paper's
+    optimiser chose (weak EIP-CPI correlation); [Seq_scan] is the Q13-like
+    counterfactual (strong correlation).  See {!Optimizer}. *)
+
+val q18_selectivity : float
+(** The matching fraction Q18's predicate was modelled with; feeding it to
+    {!Optimizer.choose} over the lineitem table reproduces the paper's
+    optimiser decision. *)
+
+val n_queries : int
+
+val region_base : int -> int
+(** First code-region id used by query [n] (regions are
+    [region_base n .. region_base n + ops - 1]). *)
+
+val lineitem : db -> Heap.t
+val orders : db -> Heap.t
+val customer : db -> Heap.t
+val lineitem_index : db -> Btree.t
+val buffer_cache : db -> Bufcache.t
+val ctx : db -> Ops.ctx
+val space : db -> Addr_space.t

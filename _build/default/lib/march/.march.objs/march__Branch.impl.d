@@ -1,0 +1,1 @@
+lib/march/branch.ml: Bytes Char

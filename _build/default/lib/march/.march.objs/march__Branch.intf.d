@@ -1,0 +1,1 @@
+lib/march/branch.mli:

@@ -1,0 +1,1 @@
+lib/march/breakdown.mli: Format

@@ -1,0 +1,1 @@
+lib/march/cpu.ml: Array Branch Breakdown Cache Config Hierarchy List Option Prefetch Quantum Tlb

@@ -1,0 +1,1 @@
+lib/march/cpu.mli: Breakdown Config Hierarchy Quantum

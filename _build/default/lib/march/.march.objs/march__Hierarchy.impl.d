@@ -1,0 +1,1 @@
+lib/march/hierarchy.ml: Cache Config Option

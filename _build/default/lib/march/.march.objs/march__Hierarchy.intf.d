@@ -1,0 +1,1 @@
+lib/march/hierarchy.mli: Cache Config

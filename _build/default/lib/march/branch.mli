@@ -1,0 +1,25 @@
+(** Gshare branch predictor (McFarling 1993).
+
+    A table of 2-bit saturating counters indexed by PC xor global history.
+    Only the mispredict/correct outcome feeds the CPI model; the predictor
+    state is what makes branchy, irregular code (gcc-like models) pay
+    front-end stalls while predictable loops do not. *)
+
+type t
+
+val create : ?history_bits:int -> table_bits:int -> unit -> t
+(** [table_bits] sets the counter table to 2^bits entries;
+    [history_bits] (default = [table_bits]) caps the global history
+    length. *)
+
+val predict : t -> pc:int -> bool
+(** Predicted direction for the branch at [pc]; no state change. *)
+
+val update : t -> pc:int -> taken:bool -> bool
+(** Predict, then train with the actual direction and shift the history.
+    Returns [true] when the prediction was wrong (a mispredict). *)
+
+val mispredicts : t -> int
+val branches : t -> int
+val mispredict_rate : t -> float
+val reset_stats : t -> unit

@@ -1,0 +1,30 @@
+(** Set-associative LRU cache model.
+
+    Addresses are byte addresses in an [int]; the cache tracks line tags
+    only (no data).  Replacement is true LRU via per-way timestamps. *)
+
+type t
+
+val create : size_bytes:int -> ways:int -> line_bytes:int -> t
+(** Geometry must be consistent: [size_bytes] divisible by
+    [ways * line_bytes], line a power of two, at least one set. *)
+
+val access : t -> int -> bool
+(** [access t addr] returns [true] on hit; always updates LRU and
+    allocates the line on miss. *)
+
+val probe : t -> int -> bool
+(** Hit test without state change. *)
+
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int
+val miss_rate : t -> float
+val reset_stats : t -> unit
+val clear : t -> unit
+(** Invalidate all lines and reset statistics. *)
+
+val sets : t -> int
+val ways : t -> int
+val line_bytes : t -> int
+val size_bytes : t -> int

@@ -1,0 +1,121 @@
+type geometry = { size_bytes : int; ways : int; line_bytes : int }
+
+type t = {
+  name : string;
+  freq_mhz : int;
+  issue_width : int;
+  base_cpi : float;
+  l1i : geometry;
+  l1d : geometry;
+  l2 : geometry;
+  l3 : geometry option;
+  lat_l2 : float;
+  lat_l3 : float;
+  lat_mem : float;
+  mispredict_penalty : float;
+  overlap : float;
+  fetch_miss_factor : float;
+  tlb_entries : int;
+  page_bytes : int;
+  tlb_walk_cycles : float;
+  other_base_cpi : float;
+  enable_prefetch : bool;
+}
+
+let kb n = n * 1024
+let mb n = n * 1024 * 1024
+
+(* 900 MHz Itanium 2: in-order EPIC core; little latency hiding, large L3,
+   modest memory latency in cycles because the clock is slow. *)
+let itanium2 =
+  {
+    name = "itanium2";
+    freq_mhz = 900;
+    issue_width = 6;
+    base_cpi = 0.40;
+    l1i = { size_bytes = kb 32; ways = 4; line_bytes = 64 };
+    l1d = { size_bytes = kb 32; ways = 4; line_bytes = 64 };
+    l2 = { size_bytes = kb 256; ways = 8; line_bytes = 128 };
+    l3 = Some { size_bytes = mb 3; ways = 12; line_bytes = 128 };
+    lat_l2 = 6.0;
+    lat_l3 = 14.0;
+    lat_mem = 190.0;
+    mispredict_penalty = 6.0;
+    overlap = 0.10;
+    fetch_miss_factor = 0.7;
+    tlb_entries = 128;
+    page_bytes = 16384;
+    tlb_walk_cycles = 25.0;
+    other_base_cpi = 0.05;
+    enable_prefetch = false;
+  }
+
+(* 2.3 GHz Pentium 4: deep pipeline (large mispredict penalty), small L1D,
+   no L3, very high memory latency in cycles; out-of-order hides part of
+   the miss latency. *)
+let pentium4 =
+  {
+    name = "pentium4";
+    freq_mhz = 2300;
+    issue_width = 3;
+    base_cpi = 0.45;
+    l1i = { size_bytes = kb 16; ways = 4; line_bytes = 64 };
+    l1d = { size_bytes = kb 8; ways = 4; line_bytes = 64 };
+    l2 = { size_bytes = kb 512; ways = 8; line_bytes = 128 };
+    l3 = None;
+    lat_l2 = 18.0;
+    lat_l3 = 0.0;
+    lat_mem = 420.0;
+    mispredict_penalty = 20.0;
+    overlap = 0.35;
+    fetch_miss_factor = 0.7;
+    tlb_entries = 64;
+    page_bytes = 4096;
+    tlb_walk_cycles = 40.0;
+    other_base_cpi = 0.04;
+    enable_prefetch = false;
+  }
+
+(* 2.0 GHz Xeon (P4-class server part with a 1 MB L3). *)
+let xeon =
+  {
+    name = "xeon";
+    freq_mhz = 2000;
+    issue_width = 3;
+    base_cpi = 0.45;
+    l1i = { size_bytes = kb 16; ways = 4; line_bytes = 64 };
+    l1d = { size_bytes = kb 8; ways = 4; line_bytes = 64 };
+    l2 = { size_bytes = kb 512; ways = 8; line_bytes = 128 };
+    l3 = Some { size_bytes = mb 1; ways = 8; line_bytes = 128 };
+    lat_l2 = 16.0;
+    lat_l3 = 45.0;
+    lat_mem = 360.0;
+    mispredict_penalty = 20.0;
+    overlap = 0.35;
+    fetch_miss_factor = 0.7;
+    tlb_entries = 64;
+    page_bytes = 4096;
+    tlb_walk_cycles = 40.0;
+    other_base_cpi = 0.04;
+    enable_prefetch = false;
+  }
+
+let with_prefetch t = { t with name = t.name ^ "+pf"; enable_prefetch = true }
+
+let all = [ itanium2; pentium4; xeon ]
+
+let by_name name = List.find (fun c -> c.name = name) all
+
+let validate t =
+  let check_geom g label =
+    if g.size_bytes <= 0 || g.ways <= 0 || g.line_bytes <= 0 then
+      invalid_arg (Printf.sprintf "Config.validate: bad %s geometry" label)
+  in
+  check_geom t.l1i "l1i";
+  check_geom t.l1d "l1d";
+  check_geom t.l2 "l2";
+  (match t.l3 with Some g -> check_geom g "l3" | None -> ());
+  if t.issue_width <= 0 then invalid_arg "Config.validate: issue_width";
+  if t.base_cpi <= 0.0 then invalid_arg "Config.validate: base_cpi";
+  if t.overlap < 0.0 || t.overlap >= 1.0 then invalid_arg "Config.validate: overlap";
+  if t.lat_mem < t.lat_l2 then invalid_arg "Config.validate: lat_mem < lat_l2"

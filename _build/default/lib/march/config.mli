@@ -1,0 +1,49 @@
+(** Machine configurations.
+
+    The paper's primary host is a 900 MHz Itanium 2 (64 KB split L1,
+    256 KB L2, 3 MB L3, in-order); Section 7.1 cross-checks on a Pentium 4
+    (no large L3, deep pipeline) and a Xeon.  Latencies are in core cycles;
+    [overlap] is the fraction of miss latency hidden by the core
+    (out-of-order machines hide more). *)
+
+type geometry = { size_bytes : int; ways : int; line_bytes : int }
+
+type t = {
+  name : string;
+  freq_mhz : int;
+  issue_width : int;
+  base_cpi : float;  (** WORK cycles per instruction at full issue *)
+  l1i : geometry;
+  l1d : geometry;
+  l2 : geometry;
+  l3 : geometry option;
+  lat_l2 : float;
+  lat_l3 : float;  (** ignored when [l3 = None] *)
+  lat_mem : float;
+  mispredict_penalty : float;
+  overlap : float;  (** in [0, 1); fraction of data-miss latency hidden *)
+  fetch_miss_factor : float;
+  (** fraction of an instruction-fetch miss latency exposed as FE stall *)
+  tlb_entries : int;
+  page_bytes : int;
+  tlb_walk_cycles : float;
+  other_base_cpi : float;  (** structural/scoreboard stalls per instruction *)
+  enable_prefetch : bool;
+      (** stream prefetcher between L2 and memory; off in every preset so
+          the baseline matches the paper's in-order machine — see the
+          `prefetch` ablation *)
+}
+
+val with_prefetch : t -> t
+(** Same machine with the stream prefetcher enabled (name suffixed
+    "+pf"). *)
+
+val itanium2 : t
+val pentium4 : t
+val xeon : t
+val all : t list
+val by_name : string -> t
+(** Raises [Not_found] for unknown names. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on inconsistent parameters. *)

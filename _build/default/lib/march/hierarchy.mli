@@ -1,0 +1,34 @@
+(** Multi-level cache hierarchy (inclusive allocate-on-miss). *)
+
+type level = L1 | L2 | L3 | Mem
+
+type t
+
+val create : Config.t -> t
+
+val access_data : t -> int -> level
+(** Deepest level that had to service the data reference; fills all levels
+    above it. *)
+
+val access_inst : t -> int -> level
+(** Same for an instruction-fetch reference (separate L1I, shared
+    L2/L3). *)
+
+val install : t -> int -> unit
+(** Pre-install a line into the L2/L3 (prefetch fill); does not touch the
+    L1 or the memory-access counter. *)
+
+val data_latency : Config.t -> level -> float
+(** Extra stall cycles a data access at this level costs (0 for L1). *)
+
+val l1d : t -> Cache.t
+val l1i : t -> Cache.t
+val l2 : t -> Cache.t
+val l3 : t -> Cache.t option
+
+val mem_data_accesses : t -> int
+(** Number of data references that went all the way to memory (L3 misses
+    on machines with an L3). *)
+
+val reset_stats : t -> unit
+val clear : t -> unit

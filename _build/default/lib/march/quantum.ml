@@ -1,0 +1,41 @@
+type t = {
+  instrs : int;
+  inst_lines : int array;
+  inst_weight : float;
+  ref_addrs : int array;
+  ref_writes : bool array;
+  ref_weight : float;
+  branch_pcs : int array;
+  branch_taken : bool array;
+  branch_weight : float;
+  extra_other_cycles : float;
+}
+
+let make ~instrs ?(inst_lines = [||]) ?(inst_weight = 1.0) ?(ref_addrs = [||]) ?ref_writes
+    ?(ref_weight = 1.0) ?(branch_pcs = [||]) ?(branch_taken = [||]) ?(branch_weight = 1.0)
+    ?(extra_other_cycles = 0.0) () =
+  if instrs <= 0 then invalid_arg "Quantum.make: instrs must be positive";
+  let ref_writes =
+    match ref_writes with
+    | Some w ->
+        if Array.length w <> Array.length ref_addrs then
+          invalid_arg "Quantum.make: ref_writes length mismatch";
+        w
+    | None -> Array.make (Array.length ref_addrs) false
+  in
+  if Array.length branch_taken <> Array.length branch_pcs then
+    invalid_arg "Quantum.make: branch_taken length mismatch";
+  if inst_weight < 0.0 || ref_weight < 0.0 || branch_weight < 0.0 then
+    invalid_arg "Quantum.make: negative weight";
+  {
+    instrs;
+    inst_lines;
+    inst_weight;
+    ref_addrs;
+    ref_writes;
+    ref_weight;
+    branch_pcs;
+    branch_taken;
+    branch_weight;
+    extra_other_cycles;
+  }

@@ -1,0 +1,42 @@
+(** One sampling quantum of work, the unit exchanged between workload
+    models and the CPU model.
+
+    A quantum stands for [instrs] retired instructions (the sampler's
+    period — "1M instructions" at paper scale).  Because simulating every
+    instruction of a multi-billion-instruction run is intractable, the
+    workload emits a {e representative micro-trace}: a weighted subset of
+    instruction-fetch lines, data references and branches.  Each simulated
+    event stands for [*_weight] real events; the CPU model scales stall
+    cycles accordingly while still driving genuine cache/predictor
+    state. *)
+
+type t = {
+  instrs : int;
+  inst_lines : int array;  (** code line addresses fetched *)
+  inst_weight : float;
+  ref_addrs : int array;  (** data reference byte addresses *)
+  ref_writes : bool array;  (** parallel to [ref_addrs] *)
+  ref_weight : float;
+  branch_pcs : int array;
+  branch_taken : bool array;  (** parallel to [branch_pcs] *)
+  branch_weight : float;
+  extra_other_cycles : float;
+      (** stall cycles charged directly to OTHER (OS overhead, context
+          switch costs, structural events the cache model cannot see) *)
+}
+
+val make :
+  instrs:int ->
+  ?inst_lines:int array ->
+  ?inst_weight:float ->
+  ?ref_addrs:int array ->
+  ?ref_writes:bool array ->
+  ?ref_weight:float ->
+  ?branch_pcs:int array ->
+  ?branch_taken:bool array ->
+  ?branch_weight:float ->
+  ?extra_other_cycles:float ->
+  unit ->
+  t
+(** Omitted event arrays default to empty; weights default to 1.  Parallel
+    arrays must have equal lengths; [ref_writes] defaults to all-reads. *)

@@ -1,0 +1,60 @@
+type t = {
+  pages : int array;
+  stamps : int array;
+  page_bits : int;
+  mutable tick : int;
+  mutable misses : int;
+  mutable accesses : int;
+}
+
+let log2 x =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 x
+
+let create ~entries ~page_bytes =
+  if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
+  if page_bytes <= 0 || page_bytes land (page_bytes - 1) <> 0 then
+    invalid_arg "Tlb.create: page size must be a power of two";
+  {
+    pages = Array.make entries (-1);
+    stamps = Array.make entries 0;
+    page_bits = log2 page_bytes;
+    tick = 0;
+    misses = 0;
+    accesses = 0;
+  }
+
+let access t addr =
+  let page = addr asr t.page_bits in
+  t.tick <- t.tick + 1;
+  t.accesses <- t.accesses + 1;
+  let n = Array.length t.pages in
+  let rec find i = if i >= n then -1 else if t.pages.(i) = page then i else find (i + 1) in
+  let i = find 0 in
+  if i >= 0 then begin
+    t.stamps.(i) <- t.tick;
+    true
+  end
+  else begin
+    let victim = ref 0 in
+    for j = 1 to n - 1 do
+      if t.stamps.(j) < t.stamps.(!victim) then victim := j
+    done;
+    t.pages.(!victim) <- page;
+    t.stamps.(!victim) <- t.tick;
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let misses t = t.misses
+let accesses t = t.accesses
+
+let reset_stats t =
+  t.misses <- 0;
+  t.accesses <- 0
+
+let clear t =
+  Array.fill t.pages 0 (Array.length t.pages) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.tick <- 0;
+  reset_stats t

@@ -1,0 +1,15 @@
+(** Fully-associative data-TLB model with LRU replacement.
+
+    TLB walks contribute to the OTHER stall component in the CPI
+    breakdown. *)
+
+type t
+
+val create : entries:int -> page_bytes:int -> t
+val access : t -> int -> bool
+(** [true] on hit; allocates on miss. *)
+
+val misses : t -> int
+val accesses : t -> int
+val reset_stats : t -> unit
+val clear : t -> unit

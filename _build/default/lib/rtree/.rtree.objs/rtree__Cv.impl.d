@@ -1,0 +1,1 @@
+lib/rtree/cv.ml: Array Dataset Float Stats Tree

@@ -1,0 +1,1 @@
+lib/rtree/cv.mli: Dataset Stats

@@ -1,0 +1,1 @@
+lib/rtree/dataset.ml: Array Stats

@@ -1,0 +1,1 @@
+lib/rtree/dataset.mli: Stats

@@ -1,0 +1,1 @@
+lib/rtree/tree.ml: Array Dataset Float Format Hashtbl List Stats

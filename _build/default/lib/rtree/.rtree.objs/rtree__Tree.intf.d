@@ -1,0 +1,1 @@
+lib/rtree/tree.mli: Dataset Format Stats

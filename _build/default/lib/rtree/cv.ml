@@ -1,0 +1,67 @@
+type curve = {
+  k_values : int array;
+  e : float array;
+  re : float array;
+  variance : float;
+}
+
+let near_zero_variance = 1e-12
+
+let relative_error_curve ?(folds = 10) ?(kmax = 50) ?(min_leaf = 1) rng (data : Dataset.t) =
+  let n = Dataset.n data in
+  let folds = max 2 (min folds n) in
+  let variance = Dataset.y_variance data in
+  let e_sums = Array.make kmax 0.0 in
+  let fold_parts = Stats.Folds.make rng ~n ~k:folds in
+  Array.iter
+    (fun { Stats.Folds.train; test } ->
+      let tree = Tree.build ~min_leaf ~max_leaves:kmax (Dataset.restrict data train) in
+      Array.iter
+        (fun i ->
+          let row = data.Dataset.rows.(i) and y = data.Dataset.y.(i) in
+          for ki = 0 to kmax - 1 do
+            let err = y -. Tree.predict_k tree ~k:(ki + 1) row in
+            e_sums.(ki) <- e_sums.(ki) +. (err *. err)
+          done)
+        test)
+    fold_parts;
+  let e = Array.map (fun s -> s /. float_of_int n) e_sums in
+  let re =
+    if variance < near_zero_variance then Array.make kmax 0.0
+    else Array.map (fun ek -> ek /. variance) e
+  in
+  { k_values = Array.init kmax (fun i -> i + 1); e; re; variance }
+
+let training_error_curve ?(kmax = 50) ?(min_leaf = 1) (data : Dataset.t) =
+  let n = Dataset.n data in
+  let variance = Dataset.y_variance data in
+  let tree = Tree.build ~min_leaf ~max_leaves:kmax data in
+  let sse = Tree.training_sse_curve tree data ~kmax in
+  let e = Array.map (fun s -> s /. float_of_int n) sse in
+  let re =
+    if variance < near_zero_variance then Array.make kmax 0.0
+    else Array.map (fun ek -> ek /. variance) e
+  in
+  { k_values = Array.init kmax (fun i -> i + 1); e; re; variance }
+
+let re_final c = c.re.(Array.length c.re - 1)
+
+let kopt c ~tol =
+  let final = re_final c in
+  let rec go i =
+    if i >= Array.length c.re - 1 then Array.length c.re
+    else if c.re.(i) -. final <= tol then i + 1
+    else go (i + 1)
+  in
+  go 0
+
+let re_at c k =
+  if k < 1 || k > Array.length c.re then invalid_arg "Cv.re_at: k out of range";
+  c.re.(k - 1)
+
+let re_min c = Array.fold_left Float.min infinity c.re
+
+let k_at_min c =
+  let best = ref 0 in
+  Array.iteri (fun i r -> if r < c.re.(!best) then best := i) c.re;
+  !best + 1

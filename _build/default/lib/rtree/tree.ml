@@ -1,0 +1,299 @@
+module Sv = Stats.Sparse_vec
+
+type node =
+  | Leaf of { mean : float; n : int }
+  | Split of {
+      feature : int;
+      threshold : float;
+      rank : int;
+      mean : float;
+      n : int;
+      left : node;
+      right : node;
+    }
+
+type t = { root : node; n_splits : int }
+
+let root t = t.root
+
+let sse n sum sumsq =
+  if n = 0 then 0.0
+  else
+    let v = sumsq -. (sum *. sum /. float_of_int n) in
+    Float.max 0.0 v
+
+(* Mutable representation used during best-first growth. *)
+type mnode = {
+  rows : int array;
+  mn : int;
+  msum : float;
+  msumsq : float;
+  mutable split : msplit option;
+}
+
+and msplit = {
+  sfeature : int;
+  sthreshold : float;
+  mutable srank : int;
+  sleft : mnode;
+  sright : mnode;
+}
+
+type candidate = {
+  cfeature : int;
+  cthreshold : float;
+  cgain : float;
+}
+
+(* Exhaustive variance-minimising split search for one node, as in the
+   paper's Section 4.1, made O(total nnz log nnz) by handling the implicit
+   zero entries of each sparse column as a precomputed "zeros bucket":
+   for a candidate threshold t the left side is (all zero rows) + (the
+   non-zero rows with value <= t), and its y-statistics follow from the
+   node totals by subtraction. *)
+let best_split (data : Dataset.t) ~rows ~n ~sum ~sumsq ~min_leaf =
+  let node_sse = sse n sum sumsq in
+  if node_sse <= 0.0 || n < 2 * min_leaf then None
+  else begin
+    let per_feature : (int, (float * float) list ref) Hashtbl.t = Hashtbl.create 64 in
+    Array.iter
+      (fun r ->
+        let y = data.Dataset.y.(r) in
+        Sv.iter
+          (fun f x ->
+            match Hashtbl.find_opt per_feature f with
+            | Some l -> l := (x, y) :: !l
+            | None -> Hashtbl.add per_feature f (ref [ (x, y) ]))
+          data.Dataset.rows.(r))
+      rows;
+    let features = Hashtbl.fold (fun f _ acc -> f :: acc) per_feature [] in
+    let features = List.sort compare features in
+    let best = ref None in
+    let consider feature threshold gain =
+      match !best with
+      | Some b when b.cgain >= gain -> ()
+      | _ -> best := Some { cfeature = feature; cthreshold = threshold; cgain = gain }
+    in
+    List.iter
+      (fun f ->
+        let entries = Array.of_list !(Hashtbl.find per_feature f) in
+        Array.sort (fun (a, _) (b, _) -> compare a b) entries;
+        let nnz = Array.length entries in
+        let n_zero = n - nnz in
+        let nz_sum = Array.fold_left (fun a (_, y) -> a +. y) 0.0 entries in
+        let nz_sumsq = Array.fold_left (fun a (_, y) -> a +. (y *. y)) 0.0 entries in
+        (* Running left-side statistics, seeded with the zeros bucket. *)
+        let ln = ref n_zero
+        and lsum = ref (sum -. nz_sum)
+        and lsumsq = ref (sumsq -. nz_sumsq) in
+        let try_threshold t =
+          let rn = n - !ln in
+          if !ln >= min_leaf && rn >= min_leaf then begin
+            let split_sse = sse !ln !lsum !lsumsq +. sse rn (sum -. !lsum) (sumsq -. !lsumsq) in
+            consider f t (node_sse -. split_sse)
+          end
+        in
+        (* Threshold 0: zeros on the left, all non-zeros on the right. *)
+        if n_zero > 0 && nnz > 0 then try_threshold 0.0;
+        for i = 0 to nnz - 1 do
+          let x, y = entries.(i) in
+          incr ln;
+          lsum := !lsum +. y;
+          lsumsq := !lsumsq +. (y *. y);
+          (* A threshold is admissible at a boundary between distinct
+             values; the last value offers no split. *)
+          if i < nnz - 1 && fst entries.(i + 1) > x then try_threshold x
+        done)
+      features;
+    !best
+  end
+
+let y_totals (data : Dataset.t) rows =
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  Array.iter
+    (fun r ->
+      let y = data.Dataset.y.(r) in
+      sum := !sum +. y;
+      sumsq := !sumsq +. (y *. y))
+    rows;
+  (!sum, !sumsq)
+
+let make_mnode data rows =
+  let sum, sumsq = y_totals data rows in
+  { rows; mn = Array.length rows; msum = sum; msumsq = sumsq; split = None }
+
+let partition (data : Dataset.t) rows feature threshold =
+  let left = ref [] and right = ref [] in
+  Array.iter
+    (fun r ->
+      if Sv.get data.Dataset.rows.(r) feature <= threshold then left := r :: !left
+      else right := r :: !right)
+    rows;
+  (Array.of_list (List.rev !left), Array.of_list (List.rev !right))
+
+let build ?(min_leaf = 1) ?(min_gain = 1e-12) ~max_leaves (data : Dataset.t) =
+  if max_leaves < 1 then invalid_arg "Tree.build: max_leaves must be >= 1";
+  if min_leaf < 1 then invalid_arg "Tree.build: min_leaf must be >= 1";
+  let n = Dataset.n data in
+  let all_rows = Array.init n (fun i -> i) in
+  let root = make_mnode data all_rows in
+  (* Frontier of unsplit leaves paired with their best candidate split. *)
+  let frontier = ref [] in
+  let push node =
+    match
+      best_split data ~rows:node.rows ~n:node.mn ~sum:node.msum ~sumsq:node.msumsq ~min_leaf
+    with
+    | Some c when c.cgain > min_gain -> frontier := (node, c) :: !frontier
+    | Some _ | None -> ()
+  in
+  push root;
+  let n_splits = ref 0 in
+  let leaves = ref 1 in
+  while !leaves < max_leaves && !frontier <> [] do
+    (* Pick the frontier leaf whose split removes the most squared error. *)
+    let best_pair =
+      List.fold_left
+        (fun acc pair ->
+          match acc with
+          | None -> Some pair
+          | Some (_, bc) -> if (snd pair).cgain > bc.cgain then Some pair else acc)
+        None !frontier
+    in
+    match best_pair with
+    | None -> frontier := []
+    | Some ((node, cand) as chosen) ->
+        frontier := List.filter (fun p -> p != chosen) !frontier;
+        let lrows, rrows = partition data node.rows cand.cfeature cand.cthreshold in
+        let lnode = make_mnode data lrows and rnode = make_mnode data rrows in
+        incr n_splits;
+        node.split <-
+          Some
+            {
+              sfeature = cand.cfeature;
+              sthreshold = cand.cthreshold;
+              srank = !n_splits;
+              sleft = lnode;
+              sright = rnode;
+            };
+        incr leaves;
+        push lnode;
+        push rnode
+  done;
+  let rec freeze m =
+    let mean = if m.mn = 0 then 0.0 else m.msum /. float_of_int m.mn in
+    match m.split with
+    | None -> Leaf { mean; n = m.mn }
+    | Some s ->
+        Split
+          {
+            feature = s.sfeature;
+            threshold = s.sthreshold;
+            rank = s.srank;
+            mean;
+            n = m.mn;
+            left = freeze s.sleft;
+            right = freeze s.sright;
+          }
+  in
+  { root = freeze root; n_splits = !n_splits }
+
+let rec predict_node node x =
+  match node with
+  | Leaf { mean; _ } -> mean
+  | Split { feature; threshold; left; right; _ } ->
+      if Sv.get x feature <= threshold then predict_node left x else predict_node right x
+
+let predict t x = predict_node t.root x
+
+let predict_k t ~k x =
+  if k < 1 then invalid_arg "Tree.predict_k: k must be >= 1";
+  let rec go node =
+    match node with
+    | Leaf { mean; _ } -> mean
+    | Split { rank; mean; feature; threshold; left; right; _ } ->
+        if rank > k - 1 then mean
+        else if Sv.get x feature <= threshold then go left
+        else go right
+  in
+  go t.root
+
+let n_leaves t = t.n_splits + 1
+
+let depth t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Split { left; right; _ } -> 1 + max (go left) (go right)
+  in
+  go t.root
+
+let split_gains t =
+  (* Recover each split's SSE reduction from node statistics: splitting a
+     node of mean m into children (m_l, n_l) and (m_r, n_r) removes
+     n_l*(m_l - m)^2 + n_r*(m_r - m)^2 of squared error. *)
+  let gains = Array.make t.n_splits 0.0 in
+  let stats = function
+    | Leaf { mean; n } -> (mean, n)
+    | Split { mean; n; _ } -> (mean, n)
+  in
+  let rec collect = function
+    | Leaf _ -> ()
+    | Split { rank; left; right; mean; _ } ->
+        let lm, ln = stats left and rm, rn = stats right in
+        let dl = lm -. mean and dr = rm -. mean in
+        gains.(rank - 1) <- (float_of_int ln *. dl *. dl) +. (float_of_int rn *. dr *. dr);
+        collect left;
+        collect right
+  in
+  collect t.root;
+  gains
+
+let feature_importance t =
+  let stats = function
+    | Leaf { mean; n } -> (mean, n)
+    | Split { mean; n; _ } -> (mean, n)
+  in
+  let gains = Hashtbl.create 16 in
+  let total = ref 0.0 in
+  let rec collect = function
+    | Leaf _ -> ()
+    | Split { feature; left; right; mean; _ } ->
+        let lm, ln = stats left and rm, rn = stats right in
+        let dl = lm -. mean and dr = rm -. mean in
+        let g = (float_of_int ln *. dl *. dl) +. (float_of_int rn *. dr *. dr) in
+        total := !total +. g;
+        (match Hashtbl.find_opt gains feature with
+        | Some r -> r := !r +. g
+        | None -> Hashtbl.add gains feature (ref g));
+        collect left;
+        collect right
+  in
+  collect t.root;
+  let entries = Hashtbl.fold (fun f g acc -> (f, !g) :: acc) gains [] in
+  let norm = if !total > 0.0 then !total else 1.0 in
+  entries
+  |> List.map (fun (f, g) -> (f, g /. norm))
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let training_sse_curve t (data : Dataset.t) ~kmax =
+  Array.init kmax (fun ki ->
+      let k = ki + 1 in
+      let total = ref 0.0 in
+      Array.iteri
+        (fun i row ->
+          let e = data.Dataset.y.(i) -. predict_k t ~k row in
+          total := !total +. (e *. e))
+        data.Dataset.rows;
+      !total)
+
+let pp ppf t =
+  let rec go ppf indent node =
+    match node with
+    | Leaf { mean; n } -> Format.fprintf ppf "%sleaf mean=%.4f n=%d@," indent mean n
+    | Split { feature; threshold; rank; left; right; _ } ->
+        Format.fprintf ppf "%s#%d EIP_%d <= %g ?@," indent rank feature threshold;
+        go ppf (indent ^ "  ") left;
+        go ppf (indent ^ "  ") right
+  in
+  Format.fprintf ppf "@[<v>";
+  go ppf "" t.root;
+  Format.fprintf ppf "@]"

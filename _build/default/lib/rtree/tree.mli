@@ -1,0 +1,61 @@
+(** CART regression trees over sparse count features (the paper's
+    Section 4.1).
+
+    The split search is exactly the paper's: for every feature (unique EIP)
+    and every distinct count value, try the two-way partition "count <= v"
+    vs "count > v" and keep the split minimising the weighted sum of the
+    two sides' CPI variances.  The tree is grown {e best-first}: at each
+    step the single leaf whose best split removes the most squared error is
+    split, so the growth induces a nested sequence of optimal-ish trees
+    T_1, T_2, ..., T_kmax and any prefix T_k can be queried after one
+    build (see {!predict_k}). *)
+
+type t
+
+type node =
+  | Leaf of { mean : float; n : int }
+  | Split of {
+      feature : int;
+      threshold : float;  (** go left iff [x.(feature) <= threshold] *)
+      rank : int;  (** 1-based order in which this split was made *)
+      mean : float;
+      n : int;
+      left : node;
+      right : node;
+    }
+
+val root : t -> node
+
+val build : ?min_leaf:int -> ?min_gain:float -> max_leaves:int -> Dataset.t -> t
+(** [min_leaf] (default 1) is the smallest admissible side of a split;
+    [min_gain] (default 1e-12) the smallest admissible squared-error
+    reduction.  Growth stops at [max_leaves] leaves or when no admissible
+    split remains. *)
+
+val predict : t -> Stats.Sparse_vec.t -> float
+(** Prediction with the full tree. *)
+
+val predict_k : t -> k:int -> Stats.Sparse_vec.t -> float
+(** Prediction with the nested subtree T_k (at most [k] chambers): splits
+    of rank > k-1 are treated as leaves, exactly as if growth had stopped
+    at k leaves. *)
+
+val n_leaves : t -> int
+val depth : t -> int
+
+val split_gains : t -> float array
+(** Squared-error reduction of each split in rank order — non-increasing by
+    construction of best-first growth. *)
+
+val feature_importance : t -> (int * float) list
+(** Total squared-error reduction attributed to each feature, normalised
+    to sum to 1, sorted descending.  In the paper's setting this answers
+    "which EIPs predict CPI". *)
+
+val training_sse_curve : t -> Dataset.t -> kmax:int -> float array
+(** [training_sse_curve t data ~kmax].(k-1) is the total squared error of
+    T_k on [data]; with [data] the training set it is non-increasing in
+    k. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering of the tree structure (used to print Figure 1). *)

@@ -1,0 +1,1 @@
+lib/sampling/driver.ml: Array Dbengine Hashtbl March Stats Workload

@@ -1,0 +1,1 @@
+lib/sampling/driver.mli: March Stats Workload

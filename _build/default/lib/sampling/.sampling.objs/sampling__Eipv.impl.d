@@ -1,0 +1,1 @@
+lib/sampling/eipv.ml: Array Driver Hashtbl List March Rtree Stats

@@ -1,0 +1,1 @@
+lib/sampling/eipv.mli: Driver March Rtree Stats

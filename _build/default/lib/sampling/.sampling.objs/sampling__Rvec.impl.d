@@ -1,0 +1,1 @@
+lib/sampling/rvec.ml: Array Driver Hashtbl List Rtree Stats

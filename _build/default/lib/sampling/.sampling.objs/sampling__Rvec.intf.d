@@ -1,0 +1,1 @@
+lib/sampling/rvec.mli: Driver Rtree Stats

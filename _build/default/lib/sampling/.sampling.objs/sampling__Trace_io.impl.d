@@ -1,0 +1,1 @@
+lib/sampling/trace_io.ml: Array Driver Fun List March Printf Scanf String

@@ -1,0 +1,1 @@
+lib/sampling/trace_io.mli: Driver

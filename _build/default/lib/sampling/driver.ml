@@ -1,0 +1,148 @@
+module Rng = Stats.Rng
+module Sink = Dbengine.Sink
+module Model = Workload.Model
+module Code_map = Workload.Code_map
+
+type sample = {
+  eip : int;
+  tid : int;
+  instrs : int;
+  cycles : float;
+  breakdown : March.Breakdown.t;
+  os_instrs : int;
+  region_instrs : (int * int) array;
+}
+
+type run = {
+  workload : string;
+  machine : string;
+  samples : sample array;
+  period : int;
+  context_switches : int;
+  io_blocks : int;
+  os_instr_total : int;
+  total_instrs : int;
+  total_cycles : float;
+}
+
+let io_stall_cycles = 400.0
+
+let run ?(period = 20_000) ?(code_lines_per_quantum = 48) (w : Model.t) ~cpu ~rng ~samples =
+  if samples <= 0 then invalid_arg "Driver.run: samples must be positive";
+  if period <= 0 then invalid_arg "Driver.run: period must be positive";
+  let sink = Sink.create () in
+  let n_threads = Array.length w.Model.threads in
+  let cur = ref 0 in
+  let since_switch = ref 0 in
+  let switches = ref 0 and io_blocks = ref 0 and os_total = ref 0 in
+  let total_cycles = ref 0.0 and total_instrs = ref 0 in
+  let out = Array.make samples None in
+  let switch_thread () =
+    incr switches;
+    Sink.instrs sink ~region:w.Model.os_region w.Model.os_per_switch;
+    March.Cpu.pollute cpu ~fraction:w.Model.pollute_on_switch;
+    cur := (!cur + 1) mod n_threads;
+    since_switch := 0
+  in
+  for i = 0 to samples - 1 do
+    let thread = w.Model.threads.(!cur) in
+    let tid = thread.Model.tid in
+    let fill_result = thread.Model.fill sink ~budget:period in
+    (match fill_result with
+    | `Blocked ->
+        incr io_blocks;
+        Sink.instrs sink ~region:w.Model.os_region w.Model.os_per_io;
+        switch_thread ()
+    | `Ok ->
+        since_switch := !since_switch + period;
+        if !since_switch >= w.Model.switch_period then switch_thread ());
+    let d = Sink.drain sink in
+    let inst_lines, inst_weight =
+      Code_map.code_lines w.Model.code rng ~region_instrs:d.Sink.region_instrs
+        ~max_lines:code_lines_per_quantum
+    in
+    let weight_of emitted extra =
+      if emitted = 0 then 1.0 else float_of_int (emitted + extra) /. float_of_int emitted
+    in
+    let instrs = max 1 d.Sink.instrs in
+    let quantum =
+      March.Quantum.make ~instrs ~inst_lines ~inst_weight ~ref_addrs:d.Sink.addrs
+        ~ref_writes:d.Sink.writes
+        ~ref_weight:(weight_of (Array.length d.Sink.addrs) d.Sink.extra_refs)
+        ~branch_pcs:d.Sink.branch_pcs ~branch_taken:d.Sink.branch_taken
+        ~branch_weight:(weight_of (Array.length d.Sink.branch_pcs) d.Sink.extra_branches)
+        ~extra_other_cycles:(float_of_int d.Sink.io_waits *. io_stall_cycles)
+        ()
+    in
+    let r = March.Cpu.run cpu quantum in
+    (* The sampler records the EIP live at the interrupt: draw one from the
+       quantum's per-region instruction mix. *)
+    let eip =
+      if Array.length d.Sink.region_instrs = 0 then 0
+      else begin
+        let total = Array.fold_left (fun a (_, n) -> a + n) 0 d.Sink.region_instrs in
+        let target = Rng.int rng (max 1 total) in
+        let acc = ref 0 and chosen = ref (fst d.Sink.region_instrs.(0)) in
+        (try
+           Array.iter
+             (fun (region, n) ->
+               acc := !acc + n;
+               if !acc > target then begin
+                 chosen := region;
+                 raise Exit
+               end)
+             d.Sink.region_instrs
+         with Exit -> ());
+        Code_map.draw_eip w.Model.code rng ~region:!chosen
+      end
+    in
+    let os_instrs =
+      Array.fold_left
+        (fun a (region, n) -> if region = w.Model.os_region then a + n else a)
+        0 d.Sink.region_instrs
+    in
+    os_total := !os_total + os_instrs;
+    total_cycles := !total_cycles +. r.March.Cpu.cycles;
+    total_instrs := !total_instrs + instrs;
+    out.(i) <-
+      Some
+        {
+          eip;
+          tid;
+          instrs;
+          cycles = r.March.Cpu.cycles;
+          breakdown = r.March.Cpu.breakdown;
+          os_instrs;
+          region_instrs = d.Sink.region_instrs;
+        }
+  done;
+  let samples_arr =
+    Array.map (function Some s -> s | None -> assert false) out
+  in
+  {
+    workload = w.Model.name;
+    machine = (March.Cpu.config cpu).March.Config.name;
+    samples = samples_arr;
+    period;
+    context_switches = !switches;
+    io_blocks = !io_blocks;
+    os_instr_total = !os_total;
+    total_instrs = !total_instrs;
+    total_cycles = !total_cycles;
+  }
+
+let cpi r =
+  if r.total_instrs = 0 then 0.0 else r.total_cycles /. float_of_int r.total_instrs
+
+let os_fraction r =
+  if r.total_instrs = 0 then 0.0
+  else float_of_int r.os_instr_total /. float_of_int r.total_instrs
+
+let context_switches_per_minstr r =
+  if r.total_instrs = 0 then 0.0
+  else float_of_int r.context_switches *. 1_000_000.0 /. float_of_int r.total_instrs
+
+let unique_eips r =
+  let tbl = Hashtbl.create 1024 in
+  Array.iter (fun s -> Hashtbl.replace tbl s.eip ()) r.samples;
+  Hashtbl.length tbl

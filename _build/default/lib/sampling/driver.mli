@@ -1,0 +1,56 @@
+(** The measurement driver: runs a workload on a CPU model under a
+    VTune-like event-based sampler.
+
+    Execution advances one sampling quantum (one "period" of retired
+    instructions) at a time: the scheduler picks a thread, the thread
+    fills the event sink, OS overhead is charged for context switches and
+    blocking I/O, the micro-trace is executed by the CPU model, and one
+    sample — (EIP, thread, cycle and stall-component deltas) — is
+    recorded, exactly the schema of the paper's Section 3.1. *)
+
+type sample = {
+  eip : int;
+  tid : int;
+  instrs : int;  (** retired instructions in this quantum *)
+  cycles : float;
+  breakdown : March.Breakdown.t;
+  os_instrs : int;  (** instructions spent in the OS region this quantum *)
+  region_instrs : (int * int) array;
+      (** exact (code region, instructions) histogram of the quantum — the
+          full-profile information a basic-block-vector profiler would
+          capture, unavailable to a real sampler but recorded here for the
+          EIPV-vs-BBV comparison *)
+}
+
+type run = {
+  workload : string;
+  machine : string;
+  samples : sample array;
+  period : int;
+  context_switches : int;
+  io_blocks : int;
+  os_instr_total : int;
+  total_instrs : int;
+  total_cycles : float;
+}
+
+val run :
+  ?period:int ->
+  ?code_lines_per_quantum:int ->
+  Workload.Model.t ->
+  cpu:March.Cpu.t ->
+  rng:Stats.Rng.t ->
+  samples:int ->
+  run
+(** [period] defaults to 20_000 instructions (the scaled stand-in for the
+    paper's 1M-instruction sampling period). *)
+
+val cpi : run -> float
+(** Aggregate cycles-per-instruction of the whole run. *)
+
+val os_fraction : run -> float
+val context_switches_per_minstr : run -> float
+(** Context switches per million instructions (the scale-free analogue of
+    the paper's switches/second). *)
+
+val unique_eips : run -> int

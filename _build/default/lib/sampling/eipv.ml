@@ -1,0 +1,147 @@
+type interval = {
+  eipv : Stats.Sparse_vec.t;
+  cpi : float;
+  instrs : int;
+  cycles : float;
+  breakdown : March.Breakdown.t;
+  first_sample : int;
+}
+
+type t = {
+  intervals : interval array;
+  eip_of_feature : int array;
+  n_features : int;
+  samples_per_interval : int;
+}
+
+type interner = {
+  feature_of_eip : (int, int) Hashtbl.t;
+  mutable eips : int list;
+  mutable next : int;
+}
+
+let new_interner () = { feature_of_eip = Hashtbl.create 1024; eips = []; next = 0 }
+
+let intern it eip =
+  match Hashtbl.find_opt it.feature_of_eip eip with
+  | Some f -> f
+  | None ->
+      let f = it.next in
+      it.next <- it.next + 1;
+      Hashtbl.add it.feature_of_eip eip f;
+      it.eips <- eip :: it.eips;
+      f
+
+let intervals_of_samples it (samples : Driver.sample array) ~samples_per_interval =
+  let n = Array.length samples in
+  let n_intervals = n / samples_per_interval in
+  Array.init n_intervals (fun j ->
+      let first = j * samples_per_interval in
+        let counts = Hashtbl.create 64 in
+        let instrs = ref 0 and cycles = ref 0.0 in
+        let bd = ref March.Breakdown.zero in
+        for s = first to first + samples_per_interval - 1 do
+          let smp = samples.(s) in
+          let f = intern it smp.Driver.eip in
+          (match Hashtbl.find_opt counts f with
+          | Some c -> Hashtbl.replace counts f (c + 1)
+          | None -> Hashtbl.add counts f 1);
+          instrs := !instrs + smp.Driver.instrs;
+          cycles := !cycles +. smp.Driver.cycles;
+          bd := March.Breakdown.add !bd smp.Driver.breakdown
+        done;
+        {
+          eipv = Stats.Sparse_vec.of_counts counts;
+          cpi = !cycles /. float_of_int (max 1 !instrs);
+          instrs = !instrs;
+          cycles = !cycles;
+          breakdown = March.Breakdown.per_instr !bd ~instrs:(max 1 !instrs);
+          first_sample = first;
+        })
+
+let build_from_samples (samples : Driver.sample array) ~samples_per_interval =
+  if samples_per_interval <= 0 then
+    invalid_arg "Eipv.build: samples_per_interval must be positive";
+  if Array.length samples / samples_per_interval = 0 then
+    invalid_arg "Eipv.build: not enough samples for one interval";
+  let it = new_interner () in
+  let intervals = intervals_of_samples it samples ~samples_per_interval in
+  {
+    intervals;
+    eip_of_feature = Array.of_list (List.rev it.eips);
+    n_features = it.next;
+    samples_per_interval;
+  }
+
+let build (run : Driver.run) ~samples_per_interval =
+  build_from_samples run.Driver.samples ~samples_per_interval
+
+let samples_by_thread (run : Driver.run) =
+  let by_tid = Hashtbl.create 16 in
+  Array.iter
+    (fun s ->
+      let l =
+        match Hashtbl.find_opt by_tid s.Driver.tid with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.add by_tid s.Driver.tid l;
+            l
+      in
+      l := s :: !l)
+    run.Driver.samples;
+  Hashtbl.fold (fun tid l acc -> (tid, Array.of_list (List.rev !l)) :: acc) by_tid []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let build_thread_separated (run : Driver.run) ~samples_per_interval =
+  if samples_per_interval <= 0 then
+    invalid_arg "Eipv.build_thread_separated: samples_per_interval must be positive";
+  let it = new_interner () in
+  let groups = samples_by_thread run in
+  let intervals =
+    List.concat_map
+      (fun (_, samples) ->
+        Array.to_list (intervals_of_samples it samples ~samples_per_interval))
+      groups
+    |> Array.of_list
+  in
+  if Array.length intervals = 0 then
+    invalid_arg "Eipv.build_thread_separated: not enough samples for one interval";
+  {
+    intervals;
+    eip_of_feature = Array.of_list (List.rev it.eips);
+    n_features = it.next;
+    samples_per_interval;
+  }
+
+let build_per_thread (run : Driver.run) ~samples_per_interval =
+  let by_tid = Hashtbl.create 16 in
+  Array.iter
+    (fun s ->
+      let l =
+        match Hashtbl.find_opt by_tid s.Driver.tid with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.add by_tid s.Driver.tid l;
+            l
+      in
+      l := s :: !l)
+    run.Driver.samples;
+  Hashtbl.fold
+    (fun tid l acc ->
+      let samples = Array.of_list (List.rev !l) in
+      if Array.length samples >= samples_per_interval then
+        (tid, build_from_samples samples ~samples_per_interval) :: acc
+      else acc)
+    by_tid []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> Array.of_list
+
+let cpis t = Array.map (fun iv -> iv.cpi) t.intervals
+let cpi_variance t = Stats.Describe.variance (cpis t)
+
+let dataset t =
+  Rtree.Dataset.make ~rows:(Array.map (fun iv -> iv.eipv) t.intervals) ~y:(cpis t)
+
+let points t = Array.map (fun iv -> iv.eipv) t.intervals

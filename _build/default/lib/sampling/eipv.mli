@@ -1,0 +1,44 @@
+(** EIP-vector construction (the paper's Section 3.2).
+
+    A run's samples are cut into intervals of [samples_per_interval]
+    consecutive samples; each interval becomes a sparse histogram over the
+    run's unique EIPs plus that interval's instantaneous CPI (delta cycles
+    over delta instructions) and CPI breakdown. *)
+
+type interval = {
+  eipv : Stats.Sparse_vec.t;  (** feature id -> sample count *)
+  cpi : float;
+  instrs : int;
+  cycles : float;
+  breakdown : March.Breakdown.t;  (** per-instruction stall components *)
+  first_sample : int;  (** index of the interval's first sample *)
+}
+
+type t = {
+  intervals : interval array;
+  eip_of_feature : int array;  (** feature id -> EIP *)
+  n_features : int;
+  samples_per_interval : int;
+}
+
+val build : Driver.run -> samples_per_interval:int -> t
+(** Trailing samples that do not fill a whole interval are dropped.
+    Requires at least one full interval. *)
+
+val build_per_thread : Driver.run -> samples_per_interval:int -> (int * t) array
+(** Separate the samples by thread id first (the paper's Section 5.2
+    thread-separation study), then build per-thread interval sets.
+    Threads with fewer samples than one interval are dropped. *)
+
+val build_thread_separated : Driver.run -> samples_per_interval:int -> t
+(** The paper's Figure 6/7 input: samples are first separated per thread,
+    EIPVs are built within each thread, and all threads' (EIPV, CPI)
+    pairs are pooled into one data set with a shared feature space. *)
+
+val cpis : t -> float array
+val cpi_variance : t -> float
+val dataset : t -> Rtree.Dataset.t
+(** Package as a regression data set (EIPV rows, CPI target). *)
+
+val points : t -> Stats.Sparse_vec.t array
+(** The raw EIPV rows (k-means input). *)

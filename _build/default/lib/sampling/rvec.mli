@@ -1,0 +1,25 @@
+(** Region vectors: the full-profile analogue of basic-block vectors.
+
+    The paper collects EIPVs by sampling one EIP per million instructions
+    and leaves "a direct comparison with BBVs" as future work (Section
+    3.3).  The simulator knows the exact per-quantum code-region
+    instruction histogram, which is precisely what a full profiler (the
+    SimPoint BBV collector) would measure at our region granularity, so
+    the comparison can be run: same intervals, same CPI targets, but
+    feature vectors built from exact instruction counts instead of
+    sampled EIP hits. *)
+
+type t = {
+  rows : Stats.Sparse_vec.t array;  (** one region vector per interval *)
+  cpis : float array;
+  region_of_feature : int array;
+  n_features : int;
+}
+
+val build : Driver.run -> samples_per_interval:int -> t
+(** Interval boundaries match {!Eipv.build} exactly, so relative errors
+    are directly comparable.  Vector entries are instruction counts in
+    millions (scale does not affect threshold splits). *)
+
+val dataset : t -> Rtree.Dataset.t
+val cpi_variance : t -> float

@@ -1,0 +1,89 @@
+(* Format (text, line-oriented):
+     line 1: "fuzzytrace 1 <workload> <machine> <period> <ctx> <io> <os>
+              <total_instrs> <total_cycles> <n_samples>"
+     then one line per sample:
+     "<eip> <tid> <instrs> <cycles> <work> <fe> <exe> <other> <os_instrs>
+      <nregions> (<region> <instrs>)*"
+   Floats are printed with %h (hex floats) so round-trips are exact. *)
+
+let version = 1
+
+let save (run : Driver.run) ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "fuzzytrace %d %s %s %d %d %d %d %d %h %d\n" version
+        run.Driver.workload run.Driver.machine run.Driver.period run.Driver.context_switches
+        run.Driver.io_blocks run.Driver.os_instr_total run.Driver.total_instrs
+        run.Driver.total_cycles
+        (Array.length run.Driver.samples);
+      Array.iter
+        (fun (s : Driver.sample) ->
+          let b = s.Driver.breakdown in
+          Printf.fprintf oc "%d %d %d %h %h %h %h %h %d %d" s.Driver.eip s.Driver.tid
+            s.Driver.instrs s.Driver.cycles b.March.Breakdown.work b.March.Breakdown.fe
+            b.March.Breakdown.exe b.March.Breakdown.other s.Driver.os_instrs
+            (Array.length s.Driver.region_instrs);
+          Array.iter (fun (r, n) -> Printf.fprintf oc " %d %d" r n) s.Driver.region_instrs;
+          output_char oc '\n')
+        run.Driver.samples)
+
+let fail_fmt fmt = Printf.ksprintf failwith fmt
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = input_line ic in
+      let workload, machine, period, ctx, io, os, total_instrs, total_cycles, n =
+        try
+          Scanf.sscanf header "fuzzytrace %d %s %s %d %d %d %d %d %h %d"
+            (fun v workload machine period ctx io os ti tc n ->
+              if v <> version then
+                fail_fmt "Trace_io.load: version %d, expected %d" v version;
+              (workload, machine, period, ctx, io, os, ti, tc, n))
+        with Scanf.Scan_failure m | Failure m -> fail_fmt "Trace_io.load: bad header: %s" m
+      in
+      let samples =
+        Array.init n (fun i ->
+            let line =
+              try input_line ic
+              with End_of_file -> fail_fmt "Trace_io.load: truncated at sample %d" i
+            in
+            try
+              Scanf.sscanf line "%d %d %d %h %h %h %h %h %d %d %n"
+                (fun eip tid instrs cycles work fe exe other os_instrs nregions pos ->
+                  let rest = String.sub line pos (String.length line - pos) in
+                  let fields =
+                    List.filter (fun s -> s <> "") (String.split_on_char ' ' rest)
+                  in
+                  if List.length fields <> 2 * nregions then
+                    fail_fmt "Trace_io.load: sample %d region arity" i;
+                  let arr = Array.of_list (List.map int_of_string fields) in
+                  let region_instrs =
+                    Array.init nregions (fun k -> (arr.(2 * k), arr.((2 * k) + 1)))
+                  in
+                  {
+                    Driver.eip;
+                    tid;
+                    instrs;
+                    cycles;
+                    breakdown = { March.Breakdown.work; fe; exe; other };
+                    os_instrs;
+                    region_instrs;
+                  })
+            with Scanf.Scan_failure m -> fail_fmt "Trace_io.load: sample %d: %s" i m)
+      in
+      {
+        Driver.workload;
+        machine;
+        samples;
+        period;
+        context_switches = ctx;
+        io_blocks = io;
+        os_instr_total = os;
+        total_instrs;
+        total_cycles;
+      })

@@ -1,0 +1,18 @@
+(** Persist and reload measurement runs.
+
+    The paper's workflow is collect-once / analyze-many: VTune sampling
+    took hours on a tuned database machine, while regression-tree analysis
+    ran offline in R.  This module gives the reproduction the same split:
+    a {!Driver.run} round-trips through a self-describing text format
+    (one header line, one line per sample), so expensive simulations can
+    be archived and re-analyzed with different interval sizes, fold seeds
+    or thresholds without re-running the machine model. *)
+
+val save : Driver.run -> path:string -> unit
+(** Overwrites [path].  The format is versioned; all run metadata and
+    per-sample fields (including the region histograms used by
+    {!Rvec}) are preserved. *)
+
+val load : path:string -> Driver.run
+(** Raises [Failure] with a descriptive message on version mismatch or a
+    malformed line. *)

@@ -1,0 +1,1 @@
+lib/stats/folds.ml: Array List Rng

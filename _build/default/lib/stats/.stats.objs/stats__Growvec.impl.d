@@ -1,0 +1,1 @@
+lib/stats/growvec.ml: Array Bytes

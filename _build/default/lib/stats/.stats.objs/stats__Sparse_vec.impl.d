@@ -1,0 +1,1 @@
+lib/stats/sparse_vec.ml: Array Float Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/stats/sparse_vec.mli: Format Hashtbl

@@ -1,0 +1,82 @@
+module Acc = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable sum : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; sum = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    t.sum <- t.sum +. x
+
+  let n t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+  let sample_variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+  let sum t = t.sum
+  let sum_sq_dev t = t.m2
+
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else
+      let n = a.n + b.n in
+      let delta = b.mean -. a.mean in
+      let nf = float_of_int n in
+      let mean = a.mean +. (delta *. float_of_int b.n /. nf) in
+      let m2 =
+        a.m2 +. b.m2 +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. nf)
+      in
+      {
+        n;
+        mean;
+        m2;
+        min = Float.min a.min b.min;
+        max = Float.max a.max b.max;
+        sum = a.sum +. b.sum;
+      }
+end
+
+let of_array xs =
+  let acc = Acc.create () in
+  Array.iter (Acc.add acc) xs;
+  acc
+
+let mean xs = Acc.mean (of_array xs)
+let variance xs = Acc.variance (of_array xs)
+let stddev xs = Acc.stddev (of_array xs)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Describe.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Describe.percentile: p out of [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let summary xs =
+  if Array.length xs = 0 then "n=0"
+  else
+    let acc = of_array xs in
+    Printf.sprintf "n=%d mean=%.4f std=%.4f min=%.4f p50=%.4f max=%.4f" (Acc.n acc)
+      (Acc.mean acc) (Acc.stddev acc) (Acc.min acc) (percentile xs 50.0) (Acc.max acc)

@@ -1,0 +1,42 @@
+(** Random-variate samplers built on {!Rng}.
+
+    Workload models use these to shape code-region popularity (Zipf),
+    inter-arrival times (exponential), datum skew (normal / lognormal) and
+    categorical choices (discrete distributions with an alias table). *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+
+val exponential : Rng.t -> mean:float -> float
+(** Exponential variate with the given mean. *)
+
+val normal : Rng.t -> mean:float -> stddev:float -> float
+(** Gaussian variate via Box-Muller. *)
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+
+val geometric : Rng.t -> p:float -> int
+(** Number of Bernoulli(p) failures before the first success; [p] in
+    (0, 1]. *)
+
+val poisson_knuth : Rng.t -> mean:float -> int
+(** Poisson variate (Knuth's product method; adequate for small means). *)
+
+type zipf
+(** Precomputed Zipf(s, n) sampler over ranks [0..n-1]. *)
+
+val zipf : n:int -> s:float -> zipf
+(** [zipf ~n ~s] prepares a sampler where rank [k] has probability
+    proportional to [1/(k+1)^s].  [s = 0] degenerates to uniform. *)
+
+val zipf_draw : zipf -> Rng.t -> int
+val zipf_support : zipf -> int
+
+type categorical
+(** Discrete distribution over [0..n-1] with given weights, sampled in
+    O(1) via Walker's alias method. *)
+
+val categorical : float array -> categorical
+(** Weights must be non-negative with a positive sum. *)
+
+val categorical_draw : categorical -> Rng.t -> int
+val categorical_support : categorical -> int

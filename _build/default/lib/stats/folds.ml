@@ -1,0 +1,13 @@
+type t = { train : int array; test : int array }
+
+let make rng ~n ~k =
+  if k < 2 then invalid_arg "Folds.make: k must be >= 2";
+  if k > n then invalid_arg "Folds.make: k must be <= n";
+  let perm = Rng.permutation rng n in
+  (* Fold f takes positions with [pos mod k = f] so sizes differ by <= 1. *)
+  Array.init k (fun f ->
+      let test = ref [] and train = ref [] in
+      Array.iteri
+        (fun pos idx -> if pos mod k = f then test := idx :: !test else train := idx :: !train)
+        perm;
+      { train = Array.of_list (List.rev !train); test = Array.of_list (List.rev !test) })

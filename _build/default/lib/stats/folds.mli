@@ -1,0 +1,12 @@
+(** K-fold partitioning for cross-validation.
+
+    The paper's Section 4.4 splits the (EIPV, CPI) data set into 10 random
+    parts and builds one tree per held-out part.  This module produces the
+    index partition. *)
+
+type t = { train : int array; test : int array }
+(** One fold: disjoint index sets covering [0..n-1]. *)
+
+val make : Rng.t -> n:int -> k:int -> t array
+(** [make rng ~n ~k] shuffles [0..n-1] and cuts it into [k] folds whose
+    sizes differ by at most one.  Requires [2 <= k <= n]. *)

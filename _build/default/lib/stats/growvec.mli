@@ -1,0 +1,26 @@
+(** Growable unboxed vectors used by trace sinks on the hot path of the
+    workload simulators. *)
+
+module Int : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val push : t -> int -> unit
+  val get : t -> int -> int
+  val length : t -> int
+  val clear : t -> unit
+  (** Reset length to zero; capacity is retained. *)
+
+  val to_array : t -> int array
+end
+
+module Bool : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val push : t -> bool -> unit
+  val get : t -> int -> bool
+  val length : t -> int
+  val clear : t -> unit
+  val to_array : t -> bool array
+end

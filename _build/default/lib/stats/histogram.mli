@@ -1,0 +1,22 @@
+(** Fixed-width bin histograms over floats.
+
+    Used for spread plots (Figures 3, 9, 11) and for summarising CPI
+    distributions in reports. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Values outside [\[lo, hi)] are clamped into the first / last bin. *)
+
+val add : t -> float -> unit
+val count : t -> int -> int
+val bins : t -> int
+val total : t -> int
+val bin_lo : t -> int -> float
+(** Lower edge of bin [i]. *)
+
+val mode_bin : t -> int
+(** Index of the fullest bin (ties broken towards lower index). *)
+
+val render : t -> width:int -> string
+(** Compact one-line unicode bar rendering, for terminal reports. *)

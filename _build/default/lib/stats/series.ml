@@ -1,0 +1,69 @@
+let moving_average xs ~window =
+  if window <= 0 then invalid_arg "Series.moving_average: window must be positive";
+  let n = Array.length xs in
+  let half = window / 2 in
+  Array.init n (fun i ->
+      let lo = max 0 (i - half) and hi = min (n - 1) (i + half) in
+      let sum = ref 0.0 in
+      for j = lo to hi do
+        sum := !sum +. xs.(j)
+      done;
+      !sum /. float_of_int (hi - lo + 1))
+
+let downsample xs ~points =
+  let n = Array.length xs in
+  if n = 0 || points <= 0 then [||]
+  else
+    let buckets = min points n in
+    Array.init buckets (fun b ->
+        let lo = b * n / buckets and hi = (((b + 1) * n) / buckets) - 1 in
+        let sum = ref 0.0 in
+        for j = lo to hi do
+          sum := !sum +. xs.(j)
+        done;
+        (lo, !sum /. float_of_int (hi - lo + 1)))
+
+let blocks = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline xs ~width =
+  let pts = downsample xs ~points:width in
+  if Array.length pts = 0 then ""
+  else begin
+    let lo = ref infinity and hi = ref neg_infinity in
+    Array.iter
+      (fun (_, v) ->
+        if v < !lo then lo := v;
+        if v > !hi then hi := v)
+      pts;
+    let span = if !hi > !lo then !hi -. !lo else 1.0 in
+    let buf = Buffer.create (Array.length pts * 3) in
+    Array.iter
+      (fun (_, v) ->
+        let level = int_of_float (7.9 *. (v -. !lo) /. span) in
+        Buffer.add_string buf blocks.(max 0 (min 7 level)))
+      pts;
+    Buffer.contents buf
+  end
+
+let autocorrelation xs ~lag =
+  let n = Array.length xs in
+  if lag <= 0 || lag >= n then 0.0
+  else
+    let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+    let num = ref 0.0 and den = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = xs.(i) -. mean in
+      den := !den +. (d *. d);
+      if i + lag < n then num := !num +. (d *. (xs.(i + lag) -. mean))
+    done;
+    if !den = 0.0 then 0.0 else !num /. !den
+
+let crossings xs ~level =
+  let n = Array.length xs in
+  let count = ref 0 in
+  for i = 1 to n - 1 do
+    let a = xs.(i - 1) -. level and b = xs.(i) -. level in
+    if (a < 0.0 && b >= 0.0) || (a >= 0.0 && b < 0.0) then incr count
+  done;
+  !count

@@ -1,0 +1,88 @@
+type t = { idx : int array; v : float array }
+
+let empty = { idx = [||]; v = [||] }
+
+let of_assoc pairs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (i, x) ->
+      if i < 0 then invalid_arg "Sparse_vec.of_assoc: negative index";
+      let cur = try Hashtbl.find tbl i with Not_found -> 0.0 in
+      Hashtbl.replace tbl i (cur +. x))
+    pairs;
+  let entries =
+    Hashtbl.fold (fun i x acc -> if x <> 0.0 then (i, x) :: acc else acc) tbl []
+  in
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  let n = List.length entries in
+  let idx = Array.make n 0 and v = Array.make n 0.0 in
+  List.iteri
+    (fun k (i, x) ->
+      idx.(k) <- i;
+      v.(k) <- x)
+    entries;
+  { idx; v }
+
+let of_counts tbl =
+  of_assoc (Hashtbl.fold (fun i c acc -> (i, float_of_int c) :: acc) tbl [])
+
+let of_dense a =
+  let pairs = ref [] in
+  Array.iteri (fun i x -> if x <> 0.0 then pairs := (i, x) :: !pairs) a;
+  of_assoc !pairs
+
+let nnz t = Array.length t.idx
+
+let get t i =
+  (* Binary search over the sorted index array. *)
+  let rec go lo hi =
+    if lo > hi then 0.0
+    else
+      let mid = (lo + hi) / 2 in
+      if t.idx.(mid) = i then t.v.(mid)
+      else if t.idx.(mid) < i then go (mid + 1) hi
+      else go lo (mid - 1)
+  in
+  go 0 (Array.length t.idx - 1)
+
+let max_index t = if nnz t = 0 then -1 else t.idx.(nnz t - 1)
+
+let iter f t =
+  for k = 0 to Array.length t.idx - 1 do
+    f t.idx.(k) t.v.(k)
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i x -> acc := f i x !acc) t;
+  !acc
+
+let sum t = Array.fold_left ( +. ) 0.0 t.v
+let norm2 t = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 t.v
+
+let dot_dense t dense =
+  let n = Array.length dense in
+  let acc = ref 0.0 in
+  iter (fun i x -> if i < n then acc := !acc +. (x *. dense.(i))) t;
+  !acc
+
+let add_into_dense t dense =
+  let n = Array.length dense in
+  iter (fun i x -> if i < n then dense.(i) <- dense.(i) +. x) t
+
+let sq_dist_dense t dense ~norm2_dense =
+  (* ||v||^2 - 2 v.c + ||c||^2, correcting coordinates where v is nonzero:
+     exact and O(nnz). *)
+  let d = norm2 t -. (2.0 *. dot_dense t dense) +. norm2_dense in
+  Float.max 0.0 d
+
+let to_assoc t = fold (fun i x acc -> (i, x) :: acc) t [] |> List.rev
+
+let map_indices f t = of_assoc (List.map (fun (i, x) -> (f i, x)) (to_assoc t))
+
+let equal a b = a.idx = b.idx && a.v = b.v
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  iter (fun i x -> Format.fprintf ppf " %d:%g" i x) t;
+  Format.fprintf ppf " }"

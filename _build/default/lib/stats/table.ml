@@ -1,0 +1,50 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~header ~rows () =
+  let cols = Array.length header in
+  List.iter
+    (fun r ->
+      if Array.length r <> cols then invalid_arg "Table.render: row arity mismatch")
+    rows;
+  let align =
+    match align with
+    | Some a ->
+        if Array.length a <> cols then invalid_arg "Table.render: align arity mismatch";
+        a
+    | None -> Array.init cols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.map String.length header in
+  List.iter (fun r -> Array.iteri (fun i s -> widths.(i) <- max widths.(i) (String.length s)) r) rows;
+  let buf = Buffer.create 256 in
+  let emit_row r =
+    Array.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad align.(i) widths.(i) s))
+      r;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make w '-'))
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let fmt_f ?(digits = 4) x =
+  if Float.is_nan x then "nan"
+  else if Float.is_integer x && Float.abs x < 1e15 && digits = 0 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.*f" digits x
+
+let fmt_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

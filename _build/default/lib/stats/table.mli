@@ -1,0 +1,18 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every reproduced table/figure in `bench/` and `bin/repro` prints through
+    this module so the output format is uniform and diffable. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align array -> header:string array -> rows:string array list -> unit -> string
+(** Column widths are computed from the data; [align] defaults to left for
+    the first column and right for the rest.  Rows whose arity differs from
+    the header are rejected. *)
+
+val fmt_f : ?digits:int -> float -> string
+(** Fixed-point float with default 4 digits; renders NaN/inf readably. *)
+
+val fmt_pct : float -> string
+(** Fraction rendered as a percentage with one digit. *)

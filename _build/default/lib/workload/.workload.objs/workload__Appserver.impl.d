@@ -1,0 +1,1 @@
+lib/workload/appserver.ml: Array Code_map Dbengine Model Printf Stats Synth

@@ -1,0 +1,1 @@
+lib/workload/appserver.mli: Model

@@ -1,0 +1,1 @@
+lib/workload/catalog.ml: Appserver Array Dbengine Dss List Model Oltp Printf Spec

@@ -1,0 +1,1 @@
+lib/workload/code_map.ml: Array Float Hashtbl Printf Stats

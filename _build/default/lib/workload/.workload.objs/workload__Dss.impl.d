@@ -1,0 +1,1 @@
+lib/workload/dss.ml: Array Code_map Dbengine Model Printf

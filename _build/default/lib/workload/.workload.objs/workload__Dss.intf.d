@@ -1,0 +1,1 @@
+lib/workload/dss.mli: Dbengine Model

@@ -1,0 +1,1 @@
+lib/workload/model.ml: Array Code_map Dbengine

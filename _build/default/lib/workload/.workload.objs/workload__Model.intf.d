@@ -1,0 +1,1 @@
+lib/workload/model.mli: Code_map Dbengine

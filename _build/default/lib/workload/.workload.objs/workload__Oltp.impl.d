@@ -1,0 +1,1 @@
+lib/workload/oltp.ml: Array Code_map Dbengine List Model Stats

@@ -1,0 +1,1 @@
+lib/workload/oltp.mli: Model

@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Array Code_map Dbengine Model Stats Synth

@@ -1,0 +1,1 @@
+lib/workload/synth.ml: Array Code_map Dbengine Float Model Stats

@@ -1,0 +1,25 @@
+(** SjAS: the SPECjAppServer-like middle-tier model.
+
+    Java application-server behaviour per the paper: a very large, JIT-
+    grown code footprint (~30k unique EIPs spread over many handler
+    regions), session objects scattered across a heap bigger than the L3,
+    allocation-heavy request handling, and short garbage-collection bursts.
+    Request phases are much shorter than one EIPV interval, so every
+    interval samples nearly the same code mix; the CPI variance that
+    remains comes from drifting session locality (a random walk invisible
+    to the EIPs) plus the GC bursts — hence moderate variance with poor
+    EIP predictability (quadrant Q-III, RE ~ 0.8-1.0 per Figure 2). *)
+
+type params = {
+  threads : int;
+  handler_regions : int;
+  eips_per_region : int;
+  session_bytes : int;
+  oldgen_bytes : int;
+}
+
+val default_params : params
+
+val model : ?params:params -> seed:int -> unit -> Model.t
+
+val region_base : int

@@ -1,0 +1,22 @@
+(** The full benchmark catalog: the 50 workloads of the paper's Table 2
+    (26 SPEC CPU2K, 22 ODB-H queries, ODB-C, SjAS). *)
+
+type kind = Spec | Odb_h of int | Odb_c | Sjas
+
+type entry = {
+  name : string;
+  kind : kind;
+  expected_quadrant : int;  (** designed quadrant, 1..4 *)
+  build : seed:int -> scale:float -> Model.t;
+      (** [scale] shrinks data sets for fast tests (1.0 = full). *)
+}
+
+val all : entry array
+(** 50 entries: ODB-C, SjAS, 26 SPEC (suite order), Q1..Q22. *)
+
+val find : string -> entry
+(** Raises [Not_found] on unknown names. *)
+
+val server_workloads : entry array
+val spec_workloads : entry array
+val odb_h_workloads : entry array

@@ -1,0 +1,28 @@
+(** ODB-H: decision-support workloads, one per query.
+
+    Each model runs a small number of identical threads, each executing
+    its own instance of the same query plan against a shared database and
+    buffer cache (the paper notes ODB-H assigns one thread per operator
+    instance, so several identical threads run concurrently and thread
+    switching is benign — Section 6.1). *)
+
+type params = {
+  scale : float;
+  threads : int;
+  buf_pages : int;
+}
+
+val default_params : params
+
+val model : ?params:params -> seed:int -> query:int -> unit -> Model.t
+(** [query] in 1..22.  Registers one code region per plan operator; region
+    EIP counts are sized so a query exposes a few thousand unique EIPs
+    (the paper counts 4129 for Q13). *)
+
+val q18_model :
+  ?params:params ->
+  seed:int ->
+  access:Dbengine.Optimizer.access_path ->
+  unit ->
+  Model.t
+(** Q18 with a forced access path (the Section 6.2 counterfactual). *)

@@ -1,0 +1,36 @@
+type fill_result = [ `Ok | `Blocked ]
+
+type thread = {
+  tid : int;
+  fill : Dbengine.Sink.t -> budget:int -> fill_result;
+}
+
+type t = {
+  name : string;
+  code : Code_map.t;
+  threads : thread array;
+  switch_period : int;
+  os_per_switch : int;
+  os_per_io : int;
+  pollute_on_switch : float;
+  os_region : int;
+}
+
+let os_region_id = 1
+
+let make ~name ~code ~threads ?(switch_period = 20_000_000) ?(os_per_switch = 3_000)
+    ?(os_per_io = 2_000) ?(pollute_on_switch = 0.15) () =
+  if Array.length threads = 0 then invalid_arg "Workload.make: no threads";
+  if switch_period <= 0 then invalid_arg "Workload.make: switch_period must be positive";
+  if not (Code_map.registered code ~region:os_region_id) then
+    Code_map.register code ~region:os_region_id ~n_eips:3000 ~skew:1.1 ();
+  {
+    name;
+    code;
+    threads;
+    switch_period;
+    os_per_switch;
+    os_per_io;
+    pollute_on_switch;
+    os_region = os_region_id;
+  }

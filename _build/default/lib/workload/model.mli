@@ -1,0 +1,44 @@
+(** The workload abstraction consumed by the sampling driver.
+
+    A workload is a set of threads plus scheduling/OS parameters.  Each
+    thread's [fill] produces roughly [budget] instructions of work into a
+    sink (returning [`Blocked] early when it stalls on simulated I/O);
+    the driver in the [sampling] library interleaves threads, charges OS
+    overhead and converts the event stream into hardware samples. *)
+
+type fill_result = [ `Ok | `Blocked ]
+
+type thread = {
+  tid : int;
+  fill : Dbengine.Sink.t -> budget:int -> fill_result;
+}
+
+type t = {
+  name : string;
+  code : Code_map.t;
+  threads : thread array;
+  switch_period : int;
+      (** retired instructions between involuntary context switches *)
+  os_per_switch : int;  (** OS instructions charged per context switch *)
+  os_per_io : int;  (** OS instructions charged per blocking I/O *)
+  pollute_on_switch : float;
+      (** fraction of the L1D displaced by a context switch *)
+  os_region : int;  (** code region OS instructions execute in *)
+}
+
+val os_region_id : int
+(** Conventional region id for kernel code, shared by all workloads. *)
+
+val make :
+  name:string ->
+  code:Code_map.t ->
+  threads:thread array ->
+  ?switch_period:int ->
+  ?os_per_switch:int ->
+  ?os_per_io:int ->
+  ?pollute_on_switch:float ->
+  unit ->
+  t
+(** Registers the OS region (3000 EIPs) in [code] if absent.  Defaults
+    model a CPU-bound single-thread program: huge switch period, light OS
+    cost. *)

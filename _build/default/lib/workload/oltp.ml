@@ -1,0 +1,109 @@
+module Rng = Stats.Rng
+module Dist = Stats.Dist
+module Sink = Dbengine.Sink
+module Heap = Dbengine.Heap
+module Btree = Dbengine.Btree
+
+type params = {
+  scale : float;
+  threads : int;
+  buf_pages : int;
+  probes_per_txn : int;
+  instrs_per_txn : int;
+  yield_prob : float;
+}
+
+let default_params =
+  {
+    scale = 1.0;
+    threads = 12;
+    buf_pages = 6_000;
+    probes_per_txn = 30;
+    instrs_per_txn = 4_000;
+    yield_prob = 0.014;
+  }
+
+let region_base = 2000
+let n_regions = 12
+let eips_per_region = 1800
+
+(* Transaction mix loosely after TPC-C: each type executes a different
+   subset of the executor's code regions. *)
+let txn_types =
+  [|
+    ("new_order", 0.45, [ 0; 1; 2; 3 ]);
+    ("payment", 0.43, [ 0; 4; 5 ]);
+    ("order_status", 0.04, [ 0; 6; 7 ]);
+    ("delivery", 0.04, [ 0; 8; 9 ]);
+    ("stock_level", 0.04, [ 0; 10; 11 ]);
+  |]
+
+let model ?(params = default_params) ~seed () =
+  let code = Code_map.create () in
+  for r = 0 to n_regions - 1 do
+    Code_map.register code ~region:(region_base + r) ~n_eips:eips_per_region ~skew:0.9 ()
+  done;
+  let space = Dbengine.Addr_space.create () in
+  let rng = Rng.create seed in
+  let rows base = max 1024 (int_of_float (float_of_int base *. params.scale)) in
+  let accounts = Heap.create space ~name:"accounts" ~rows:(rows 640_000) ~row_bytes:100 in
+  let index =
+    let n = accounts.Heap.rows in
+    let bt =
+      Btree.create ~fanout:32 ~node_bytes:512
+        ~base_addr:(Dbengine.Addr_space.alloc space ~bytes:(n * 40))
+        ()
+    in
+    Btree.bulk_load bt (Array.init n (fun k -> (k, k * 2654435761 mod n)));
+    bt
+  in
+  let log = Heap.create space ~name:"redo_log" ~rows:(rows 200_000) ~row_bytes:64 in
+  let buf = Dbengine.Bufcache.create ~pages:params.buf_pages ~page_bytes:8192 in
+  let mix = Dist.categorical (Array.map (fun (_, p, _) -> p) txn_types) in
+  let log_cursor = ref 0 in
+  let make_thread tid =
+    let trng = Rng.split rng in
+    let fill sink ~budget =
+      let start = Sink.total_instrs sink in
+      let blocked = ref false in
+      while (not !blocked) && Sink.total_instrs sink - start < budget do
+        (* One transaction. *)
+        let _, _, regions = txn_types.(Dist.categorical_draw mix trng) in
+        let nregions = List.length regions in
+        List.iter
+          (fun r ->
+            Sink.instrs sink ~region:(region_base + r) (params.instrs_per_txn / nregions))
+          regions;
+        for _ = 1 to params.probes_per_txn do
+          (* Uniformly random key: no locality, so misses spread evenly
+             over the whole run. *)
+          let key = Rng.int trng (Btree.n_keys index) in
+          let path, row = Btree.find_trace index key in
+          List.iter (fun a -> Sink.data_ref sink a) path;
+          Sink.branch sink ~pc:(region_base * 1024) ~taken:(key land 1 = 0);
+          match row with
+          | Some r when r < accounts.Heap.rows ->
+              let addr = Heap.addr_of_row accounts r in
+              Sink.data_ref sink ~write:(Rng.bernoulli trng 0.3) addr;
+              if not (Dbengine.Bufcache.touch buf addr) then
+                if Rng.bernoulli trng params.yield_prob then begin
+                  Sink.io_wait sink;
+                  blocked := true
+                end
+          | Some _ | None -> ()
+        done;
+        (* Log append: sequential writes, always cached. *)
+        let log_row = !log_cursor mod log.Heap.rows in
+        log_cursor := !log_cursor + 1;
+        Sink.data_ref sink ~write:true (Heap.addr_of_row log log_row);
+        (* Commit branch. *)
+        Sink.branch sink ~pc:((region_base * 1024) + 8) ~taken:true
+      done;
+      if !blocked then `Blocked else `Ok
+    in
+    { Model.tid; fill }
+  in
+  let threads = Array.init params.threads make_thread in
+  Model.make ~name:"odb_c" ~code ~threads
+    ~switch_period:170_000 (* ~2600 switches/s at the paper's clock/CPI *)
+    ~os_per_switch:4_500 ~os_per_io:4_000 ~pollute_on_switch:0.4 ()

@@ -1,0 +1,29 @@
+(** ODB-C: the order-entry OLTP workload (TPC-C-like shape).
+
+    Many identical server threads execute short transactions against a
+    database far larger than any cache: each transaction performs a
+    handful of uniformly-random B-tree probes and row touches, appends to
+    a log, and runs executor code drawn from a very wide code footprint.
+    Misses in the buffer cache block the thread on I/O, driving the high
+    context-switch rate and the ~15% OS time the paper reports.  The
+    resulting hardware behaviour is the paper's Q-I signature: CPI
+    dominated by uniformly-occurring L3 misses, essentially independent of
+    the EIPs (Sections 5 and 5.1). *)
+
+type params = {
+  scale : float;  (** table-size multiplier (1.0 = default experiment) *)
+  threads : int;
+  buf_pages : int;  (** SGA size in 8 KB pages *)
+  probes_per_txn : int;
+  instrs_per_txn : int;
+  yield_prob : float;  (** probability a buffer miss blocks the thread *)
+}
+
+val default_params : params
+
+val model : ?params:params -> seed:int -> unit -> Model.t
+(** Builds the database (accounts heap + index + log), registers the
+    executor code regions (~20k EIPs in total) and returns the workload. *)
+
+val region_base : int
+val n_regions : int

@@ -1,0 +1,1 @@
+test/test_dbengine.ml: Alcotest Array Dbengine Hashtbl List Printf QCheck2 QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_dbengine.mli:

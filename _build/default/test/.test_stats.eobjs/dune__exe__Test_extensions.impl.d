@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dbengine Filename Float Fun Fuzzy List March Printf Rtree Sampling Stats Sys Workload

@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Array Dbengine Filename Float Fun Fuzzy List March Printf Sampling Stats String Sys Workload

@@ -1,0 +1,1 @@
+test/test_fuzzy.ml: Alcotest Array Float Fuzzy List March Printf Rtree Sampling Stats String Workload

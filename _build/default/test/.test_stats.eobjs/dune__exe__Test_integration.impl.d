@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Fuzzy Kmeans List March Printf Rtree Sampling Stats

@@ -1,0 +1,1 @@
+test/test_kmeans.ml: Alcotest Array Kmeans List Printf QCheck2 QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_march.ml: Alcotest Array List March Printf Stats

@@ -1,0 +1,1 @@
+test/test_rtree.ml: Alcotest Array Float Fuzzy List Printf QCheck2 QCheck_alcotest Rtree Stats

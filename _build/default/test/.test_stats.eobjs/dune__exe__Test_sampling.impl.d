@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Hashtbl March Printf Rtree Sampling Stats Workload

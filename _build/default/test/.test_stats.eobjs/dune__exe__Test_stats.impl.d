@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float List Printf QCheck2 QCheck_alcotest Stats String

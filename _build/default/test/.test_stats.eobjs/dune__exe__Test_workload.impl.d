@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dbengine Hashtbl List Printf Stats Workload

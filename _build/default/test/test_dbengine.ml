@@ -1,0 +1,413 @@
+(* Tests for the database-engine substrate. *)
+
+module Btree = Dbengine.Btree
+module Heap = Dbengine.Heap
+module Sink = Dbengine.Sink
+module Ops = Dbengine.Ops
+module Query = Dbengine.Query
+module Tpch = Dbengine.Tpch
+module Addr_space = Dbengine.Addr_space
+module Cache_lru = Dbengine.Cache_lru
+module Bufcache = Dbengine.Bufcache
+module Rng = Stats.Rng
+
+(* ----------------------------- Addr_space -------------------------- *)
+
+let test_addr_space_disjoint () =
+  let s = Addr_space.create () in
+  let a = Addr_space.alloc s ~bytes:1000 in
+  let b = Addr_space.alloc s ~bytes:5000 in
+  Alcotest.(check bool) "disjoint with guard" true (b >= a + 1000);
+  Alcotest.(check bool) "used grows" true (Addr_space.used s > 6000)
+
+(* ------------------------------- Btree ----------------------------- *)
+
+let test_btree_bulk_load_find () =
+  let t = Btree.create ~node_bytes:256 ~base_addr:0 () in
+  let n = 10_000 in
+  Btree.bulk_load t (Array.init n (fun i -> (i * 2, i)));
+  Btree.check_invariants t;
+  Alcotest.(check int) "key count" n (Btree.n_keys t);
+  for i = 0 to 99 do
+    Alcotest.(check (option int)) "present" (Some (i * 37 mod n)) (Btree.find t (i * 37 mod n * 2));
+    Alcotest.(check (option int)) "absent odd key" None (Btree.find t ((i * 2) + 1))
+  done
+
+let test_btree_insert_find () =
+  let t = Btree.create ~fanout:8 ~node_bytes:256 ~base_addr:0 () in
+  let rng = Rng.create 1 in
+  let reference = Hashtbl.create 64 in
+  for _ = 1 to 2000 do
+    let k = Rng.int rng 5000 in
+    Btree.insert t ~key:k ~value:(k * 10);
+    Hashtbl.replace reference k (k * 10)
+  done;
+  Btree.check_invariants t;
+  Alcotest.(check int) "key count" (Hashtbl.length reference) (Btree.n_keys t);
+  Hashtbl.iter
+    (fun k v -> Alcotest.(check (option int)) "lookup" (Some v) (Btree.find t k))
+    reference;
+  for k = 5000 to 5100 do
+    Alcotest.(check (option int)) "absent" None (Btree.find t k)
+  done
+
+let test_btree_insert_overwrites () =
+  let t = Btree.create ~fanout:8 ~node_bytes:256 ~base_addr:0 () in
+  Btree.insert t ~key:5 ~value:1;
+  Btree.insert t ~key:5 ~value:2;
+  Alcotest.(check (option int)) "overwritten" (Some 2) (Btree.find t 5);
+  Alcotest.(check int) "single key" 1 (Btree.n_keys t)
+
+let test_btree_trace_path () =
+  let t = Btree.create ~fanout:8 ~node_bytes:512 ~base_addr:0x1000 () in
+  Btree.bulk_load t (Array.init 5000 (fun i -> (i, i)));
+  let path, v = Btree.find_trace t 1234 in
+  Alcotest.(check (option int)) "found" (Some 1234) v;
+  Alcotest.(check int) "path length = height" (Btree.height t) (List.length path);
+  List.iter
+    (fun addr ->
+      Alcotest.(check bool) "addr in index space" true
+        (addr >= 0x1000 && addr < 0x1000 + Btree.footprint_bytes t))
+    path
+
+let test_btree_height_logarithmic () =
+  let t = Btree.create ~fanout:32 ~node_bytes:512 ~base_addr:0 () in
+  Btree.bulk_load t (Array.init 100_000 (fun i -> (i, i)));
+  Alcotest.(check bool)
+    (Printf.sprintf "height %d in [3,5]" (Btree.height t))
+    true
+    (Btree.height t >= 3 && Btree.height t <= 5)
+
+let test_btree_range () =
+  let t = Btree.create ~fanout:8 ~node_bytes:256 ~base_addr:0 () in
+  Btree.bulk_load t (Array.init 1000 (fun i -> (i * 3, i)));
+  let seen = ref [] in
+  let _ = Btree.range_trace t ~lo:30 ~hi:60 (fun k _ -> seen := k :: !seen) in
+  Alcotest.(check (list int)) "range keys" [ 30; 33; 36; 39; 42; 45; 48; 51; 54; 57; 60 ]
+    (List.rev !seen)
+
+let test_btree_bulk_rejects_unsorted () =
+  let t = Btree.create ~node_bytes:256 ~base_addr:0 () in
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Btree.bulk_load: keys must be strictly increasing") (fun () ->
+      Btree.bulk_load t [| (2, 0); (1, 0) |])
+
+let prop_btree_insert_invariants =
+  QCheck2.Test.make ~name:"btree invariants hold under random inserts" ~count:30
+    QCheck2.Gen.(list_size (int_range 1 300) (int_range 0 1000))
+    (fun keys ->
+      let t = Btree.create ~fanout:6 ~node_bytes:128 ~base_addr:0 () in
+      List.iter (fun k -> Btree.insert t ~key:k ~value:k) keys;
+      Btree.check_invariants t;
+      List.for_all (fun k -> Btree.find t k = Some k) keys)
+
+let prop_btree_matches_hashtbl =
+  QCheck2.Test.make ~name:"btree agrees with Hashtbl reference" ~count:30
+    QCheck2.Gen.(list_size (int_range 1 200) (pair (int_range 0 500) small_int))
+    (fun pairs ->
+      let t = Btree.create ~fanout:6 ~node_bytes:128 ~base_addr:0 () in
+      let h = Hashtbl.create 64 in
+      List.iter
+        (fun (k, v) ->
+          Btree.insert t ~key:k ~value:v;
+          Hashtbl.replace h k v)
+        pairs;
+      Hashtbl.fold (fun k v acc -> acc && Btree.find t k = Some v) h true)
+
+(* ------------------------------ Cache_lru -------------------------- *)
+
+let test_cache_lru_exact_capacity () =
+  let c = Cache_lru.create ~capacity:3 in
+  List.iter (fun k -> ignore (Cache_lru.access c k)) [ 1; 2; 3 ];
+  Alcotest.(check bool) "1 hits" true (Cache_lru.access c 1);
+  ignore (Cache_lru.access c 4);
+  (* evicts 2 (LRU) *)
+  Alcotest.(check bool) "2 evicted" false (Cache_lru.mem c 2);
+  Alcotest.(check bool) "3 resident" true (Cache_lru.mem c 3);
+  Alcotest.(check int) "size capped" 3 (Cache_lru.size c)
+
+let test_cache_lru_stats () =
+  let c = Cache_lru.create ~capacity:2 in
+  ignore (Cache_lru.access c 1);
+  ignore (Cache_lru.access c 1);
+  Alcotest.(check int) "hits" 1 (Cache_lru.hits c);
+  Alcotest.(check int) "misses" 1 (Cache_lru.misses c)
+
+let prop_cache_lru_never_exceeds =
+  QCheck2.Test.make ~name:"lru size never exceeds capacity" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 50))
+    (fun keys ->
+      let c = Cache_lru.create ~capacity:7 in
+      List.iter (fun k -> ignore (Cache_lru.access c k)) keys;
+      Cache_lru.size c <= 7)
+
+let test_bufcache () =
+  let b = Bufcache.create ~pages:4 ~page_bytes:8192 in
+  Alcotest.(check bool) "cold miss" false (Bufcache.touch b 0);
+  Alcotest.(check bool) "same page hit" true (Bufcache.touch b 8191);
+  Alcotest.(check bool) "other page miss" false (Bufcache.touch b 8192);
+  Alcotest.(check bool) "hit ratio sane" true (Bufcache.hit_ratio b > 0.0)
+
+(* ------------------------------- Heap ------------------------------ *)
+
+let test_heap_addresses () =
+  let s = Addr_space.create () in
+  let h = Heap.create s ~name:"t" ~rows:100 ~row_bytes:64 in
+  Alcotest.(check int) "row stride" 64 (Heap.addr_of_row h 1 - Heap.addr_of_row h 0);
+  Alcotest.(check int) "bytes" 6400 (Heap.bytes h);
+  Alcotest.(check bool) "pages" true (Heap.n_pages h >= 1);
+  Alcotest.check_raises "oob" (Invalid_argument "Heap.addr_of_row: row out of range")
+    (fun () -> ignore (Heap.addr_of_row h 100))
+
+(* ------------------------------- Sink ------------------------------ *)
+
+let test_sink_accumulate_drain () =
+  let s = Sink.create () in
+  Sink.instrs s ~region:7 100;
+  Sink.instrs s ~region:7 50;
+  Sink.instrs s ~region:8 25;
+  Sink.data_ref s 0x40;
+  Sink.data_ref s ~write:true 0x80;
+  Sink.branch s ~pc:1 ~taken:true;
+  Sink.io_wait s;
+  Sink.account_refs s 10;
+  let d = Sink.drain s in
+  Alcotest.(check int) "instrs" 175 d.Sink.instrs;
+  Alcotest.(check int) "refs" 2 (Array.length d.Sink.addrs);
+  Alcotest.(check bool) "write flag" true d.Sink.writes.(1);
+  Alcotest.(check int) "io" 1 d.Sink.io_waits;
+  Alcotest.(check int) "extra refs" 10 d.Sink.extra_refs;
+  let region7 = List.assoc 7 (Array.to_list d.Sink.region_instrs) in
+  Alcotest.(check int) "region merge" 150 region7;
+  (* Drained sink is empty. *)
+  let d2 = Sink.drain s in
+  Alcotest.(check int) "empty after drain" 0 d2.Sink.instrs;
+  Alcotest.(check int) "no refs after drain" 0 (Array.length d2.Sink.addrs)
+
+(* -------------------------------- Ops ------------------------------ *)
+
+let ctx () = { Ops.rng = Rng.create 9; buf = None; yield_prob = 0.0 }
+
+let run_op_to_completion op sink ~max_steps =
+  let rec go steps =
+    if steps > max_steps then Alcotest.fail "operator did not terminate"
+    else
+      match op.Ops.step sink with
+      | Ops.Done -> steps
+      | Ops.More | Ops.Blocked -> go (steps + 1)
+  in
+  go 0
+
+let test_seq_scan_sequential_addresses () =
+  let s = Addr_space.create () in
+  let h = Heap.create s ~name:"t" ~rows:512 ~row_bytes:64 in
+  let op = Ops.seq_scan (ctx ()) ~region:1 ~heap:h () in
+  let sink = Sink.create () in
+  ignore (run_op_to_completion op sink ~max_steps:1000);
+  let d = Sink.drain sink in
+  Alcotest.(check int) "one ref per 64B row line" 512 (Array.length d.Sink.addrs);
+  let sorted = Array.copy d.Sink.addrs in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "addresses sequential" sorted d.Sink.addrs;
+  Alcotest.(check bool) "instrs attributed" true (d.Sink.instrs > 0)
+
+let test_seq_scan_reset () =
+  let s = Addr_space.create () in
+  let h = Heap.create s ~name:"t" ~rows:100 ~row_bytes:64 in
+  let op = Ops.seq_scan (ctx ()) ~region:1 ~heap:h () in
+  let sink = Sink.create () in
+  ignore (run_op_to_completion op sink ~max_steps:100);
+  Alcotest.(check bool) "done stays done" true (op.Ops.step sink = Ops.Done);
+  op.Ops.reset ();
+  Alcotest.(check bool) "restarts after reset" true (op.Ops.step sink <> Ops.Done)
+
+let test_index_scan_touches_btree () =
+  let s = Addr_space.create () in
+  let h = Heap.create s ~name:"t" ~rows:1000 ~row_bytes:64 in
+  let bt = Btree.create ~node_bytes:256 ~base_addr:(Addr_space.alloc s ~bytes:(1 lsl 20)) () in
+  Btree.bulk_load bt (Array.init 1000 (fun i -> (i, i)));
+  let op =
+    Ops.index_scan (ctx ()) ~region:2 ~btree:bt ~heap:h
+      ~key_gen:(fun rng -> Rng.int rng 1000)
+      ~probes:64 ()
+  in
+  let sink = Sink.create () in
+  ignore (run_op_to_completion op sink ~max_steps:100);
+  let d = Sink.drain sink in
+  (* Each probe visits height nodes + 1 heap row. *)
+  let expected = 64 * (Btree.height bt + 1) in
+  Alcotest.(check int) "refs per probe" expected (Array.length d.Sink.addrs);
+  Alcotest.(check bool) "branches emitted" true (Array.length d.Sink.branch_pcs > 0)
+
+let test_sort_passes () =
+  let s = Addr_space.create () in
+  let op = Ops.sort (ctx ()) ~region:3 ~space:s ~bytes:65536 ~run_bytes:8192 ~fanin:2 () in
+  let sink = Sink.create () in
+  ignore (run_op_to_completion op sink ~max_steps:10_000);
+  let d = Sink.drain sink in
+  (* 8 runs, fanin 2 -> 3 merge passes; each pass reads+writes every line. *)
+  let lines = 65536 / 64 in
+  Alcotest.(check int) "refs = passes * lines * 2" (3 * lines * 2) (Array.length d.Sink.addrs);
+  let writes = Array.fold_left (fun a w -> if w then a + 1 else a) 0 d.Sink.writes in
+  Alcotest.(check int) "half are writes" (3 * lines) writes
+
+let test_hash_join_phases () =
+  let s = Addr_space.create () in
+  let build = Heap.create s ~name:"b" ~rows:128 ~row_bytes:64 in
+  let probe = Heap.create s ~name:"p" ~rows:256 ~row_bytes:64 in
+  let op = Ops.hash_join (ctx ()) ~region:4 ~space:s ~build ~probe () in
+  let sink = Sink.create () in
+  ignore (run_op_to_completion op sink ~max_steps:1000);
+  let d = Sink.drain sink in
+  (* build: 128*(read+write), probe: 256*(read+read) *)
+  Alcotest.(check int) "total refs" ((128 * 2) + (256 * 2)) (Array.length d.Sink.addrs)
+
+let test_aggregate_refs () =
+  let s = Addr_space.create () in
+  let src = Heap.create s ~name:"s" ~rows:200 ~row_bytes:64 in
+  let op = Ops.aggregate (ctx ()) ~region:5 ~space:s ~src () in
+  let sink = Sink.create () in
+  ignore (run_op_to_completion op sink ~max_steps:1000);
+  let d = Sink.drain sink in
+  Alcotest.(check int) "row + group per row" 400 (Array.length d.Sink.addrs)
+
+let test_compute_instrs_only () =
+  let op = Ops.compute (ctx ()) ~region:6 ~instrs:10_000 () in
+  let sink = Sink.create () in
+  ignore (run_op_to_completion op sink ~max_steps:100);
+  let d = Sink.drain sink in
+  Alcotest.(check int) "exact instrs" 10_000 d.Sink.instrs;
+  Alcotest.(check int) "no refs" 0 (Array.length d.Sink.addrs)
+
+let test_op_blocks_on_buffer_miss () =
+  let s = Addr_space.create () in
+  let h = Heap.create s ~name:"t" ~rows:10_000 ~row_bytes:64 in
+  let buf = Bufcache.create ~pages:2 ~page_bytes:8192 in
+  let ctx = { Ops.rng = Rng.create 5; buf = Some buf; yield_prob = 1.0 } in
+  let op = Ops.seq_scan ctx ~region:1 ~heap:h () in
+  let sink = Sink.create () in
+  let rec first_block steps =
+    if steps > 10_000 then Alcotest.fail "never blocked"
+    else
+      match op.Ops.step sink with
+      | Ops.Blocked -> ()
+      | Ops.Done -> Alcotest.fail "finished without blocking"
+      | Ops.More -> first_block (steps + 1)
+  in
+  first_block 0;
+  Alcotest.(check bool) "io recorded" true (Sink.io_waits sink > 0)
+
+(* ------------------------------- Query ----------------------------- *)
+
+let test_query_cycles () =
+  let s = Addr_space.create () in
+  let h = Heap.create s ~name:"t" ~rows:64 ~row_bytes:64 in
+  let q =
+    Query.create ~name:"q"
+      ~ops:
+        [|
+          Ops.seq_scan (ctx ()) ~region:1 ~heap:h ();
+          Ops.compute (ctx ()) ~region:2 ~instrs:1000 ();
+        |]
+  in
+  let sink = Sink.create () in
+  let rec drive n =
+    if n > 10_000 then Alcotest.fail "query never completed"
+    else
+      match Query.step q sink with
+      | Query.Query_done -> ()
+      | Query.More | Query.Blocked -> drive (n + 1)
+  in
+  drive 0;
+  Alcotest.(check int) "one completion" 1 (Query.completed q);
+  (* Runs again after completion. *)
+  drive 0;
+  Alcotest.(check int) "cycles" 2 (Query.completed q)
+
+(* -------------------------------- Tpch ----------------------------- *)
+
+let test_tpch_builds_all_queries () =
+  let db = Tpch.create ~scale:0.02 ~seed:3 () in
+  for qn = 1 to Tpch.n_queries do
+    let q = Tpch.query db qn in
+    Alcotest.(check string) "name" (Printf.sprintf "Q%d" qn) (Query.name q)
+  done
+
+let test_tpch_rejects_bad_query () =
+  let db = Tpch.create ~scale:0.02 ~seed:3 () in
+  Alcotest.check_raises "q0" (Invalid_argument "Tpch.query: query number out of 1..22")
+    (fun () -> ignore (Tpch.query db 0));
+  Alcotest.check_raises "q23" (Invalid_argument "Tpch.query: query number out of 1..22")
+    (fun () -> ignore (Tpch.query db 23))
+
+let test_tpch_q13_produces_events () =
+  let db = Tpch.create ~scale:0.02 ~seed:3 () in
+  let q = Tpch.query db 13 in
+  let sink = Sink.create () in
+  for _ = 1 to 50 do
+    ignore (Query.step q sink)
+  done;
+  Alcotest.(check bool) "instrs" true (Sink.total_instrs sink > 0);
+  Alcotest.(check bool) "refs" true (Sink.n_refs sink > 0)
+
+let test_tpch_index_bigger_than_l3 () =
+  let db = Tpch.create ~seed:3 () in
+  let fp = Btree.footprint_bytes (Tpch.lineitem_index db) in
+  Alcotest.(check bool)
+    (Printf.sprintf "lineitem index %d bytes > 3MB" fp)
+    true
+    (fp > 3 * 1024 * 1024)
+
+let test_tpch_region_bases_disjoint () =
+  let seen = Hashtbl.create 64 in
+  for q = 1 to Tpch.n_queries do
+    let base = Tpch.region_base q in
+    for r = base to base + 7 do
+      Alcotest.(check bool) "region unique" false (Hashtbl.mem seen r);
+      Hashtbl.add seen r ()
+    done
+  done
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dbengine"
+    [
+      ("addr_space", [ Alcotest.test_case "disjoint" `Quick test_addr_space_disjoint ]);
+      ( "btree",
+        Alcotest.test_case "bulk load + find" `Quick test_btree_bulk_load_find
+        :: Alcotest.test_case "insert + find" `Quick test_btree_insert_find
+        :: Alcotest.test_case "insert overwrites" `Quick test_btree_insert_overwrites
+        :: Alcotest.test_case "trace path" `Quick test_btree_trace_path
+        :: Alcotest.test_case "height logarithmic" `Quick test_btree_height_logarithmic
+        :: Alcotest.test_case "range" `Quick test_btree_range
+        :: Alcotest.test_case "rejects unsorted bulk" `Quick test_btree_bulk_rejects_unsorted
+        :: qcheck [ prop_btree_insert_invariants; prop_btree_matches_hashtbl ] );
+      ( "cache_lru",
+        Alcotest.test_case "exact capacity" `Quick test_cache_lru_exact_capacity
+        :: Alcotest.test_case "stats" `Quick test_cache_lru_stats
+        :: Alcotest.test_case "bufcache pages" `Quick test_bufcache
+        :: qcheck [ prop_cache_lru_never_exceeds ] );
+      ("heap", [ Alcotest.test_case "addresses" `Quick test_heap_addresses ]);
+      ("sink", [ Alcotest.test_case "accumulate and drain" `Quick test_sink_accumulate_drain ]);
+      ( "ops",
+        [
+          Alcotest.test_case "seq_scan sequential" `Quick test_seq_scan_sequential_addresses;
+          Alcotest.test_case "seq_scan reset" `Quick test_seq_scan_reset;
+          Alcotest.test_case "index_scan traces btree" `Quick test_index_scan_touches_btree;
+          Alcotest.test_case "sort passes" `Quick test_sort_passes;
+          Alcotest.test_case "hash_join phases" `Quick test_hash_join_phases;
+          Alcotest.test_case "aggregate" `Quick test_aggregate_refs;
+          Alcotest.test_case "compute" `Quick test_compute_instrs_only;
+          Alcotest.test_case "blocks on buffer miss" `Quick test_op_blocks_on_buffer_miss;
+        ] );
+      ("query", [ Alcotest.test_case "cycles and resets" `Quick test_query_cycles ]);
+      ( "tpch",
+        [
+          Alcotest.test_case "builds all 22" `Quick test_tpch_builds_all_queries;
+          Alcotest.test_case "rejects bad query number" `Quick test_tpch_rejects_bad_query;
+          Alcotest.test_case "q13 produces events" `Quick test_tpch_q13_produces_events;
+          Alcotest.test_case "lineitem index > L3" `Quick test_tpch_index_bigger_than_l3;
+          Alcotest.test_case "region bases disjoint" `Quick test_tpch_region_bases_disjoint;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* Tests for the core (fuzzy) library: quadrants, analysis, techniques,
+   comparisons, robustness helpers, reports. *)
+
+module Quadrant = Fuzzy.Quadrant
+module Analysis = Fuzzy.Analysis
+module Techniques = Fuzzy.Techniques
+module Report = Fuzzy.Report
+module Example = Fuzzy.Example
+module Experiments = Fuzzy.Experiments
+module Rng = Stats.Rng
+
+(* ------------------------------ Quadrant --------------------------- *)
+
+let test_quadrant_classify () =
+  let q v re = Quadrant.classify ~cpi_variance:v ~re () in
+  Alcotest.(check string) "Q1" "Q-I" (Quadrant.to_string (q 0.001 0.9));
+  Alcotest.(check string) "Q2" "Q-II" (Quadrant.to_string (q 0.001 0.1));
+  Alcotest.(check string) "Q3" "Q-III" (Quadrant.to_string (q 0.5 0.9));
+  Alcotest.(check string) "Q4" "Q-IV" (Quadrant.to_string (q 0.5 0.1))
+
+let test_quadrant_thresholds_inclusive () =
+  (* The paper: var <= 0.01 is "low", RE <= 0.15 is "strong". *)
+  let q = Quadrant.classify ~cpi_variance:0.01 ~re:0.15 () in
+  Alcotest.(check string) "boundary inclusive" "Q-II" (Quadrant.to_string q)
+
+let test_quadrant_custom_thresholds () =
+  let q = Quadrant.classify ~var_threshold:1.0 ~re_threshold:0.5 ~cpi_variance:0.5 ~re:0.4 () in
+  Alcotest.(check string) "custom" "Q-II" (Quadrant.to_string q)
+
+let test_quadrant_int_roundtrip () =
+  List.iter
+    (fun q -> Alcotest.(check bool) "roundtrip" true (Quadrant.of_int (Quadrant.to_int q) = q))
+    [ Quadrant.Q1; Quadrant.Q2; Quadrant.Q3; Quadrant.Q4 ];
+  Alcotest.check_raises "bad int" (Invalid_argument "Quadrant.of_int: 5") (fun () ->
+      ignore (Quadrant.of_int 5))
+
+(* ------------------------------ Analysis --------------------------- *)
+
+let quick = Analysis.quick
+
+let test_analysis_quick_runs () =
+  let a = Analysis.analyze quick "gzip" in
+  Alcotest.(check string) "name" "gzip" a.Analysis.name;
+  Alcotest.(check int) "intervals" quick.Analysis.intervals
+    (Array.length a.Analysis.eipv.Sampling.Eipv.intervals);
+  Alcotest.(check bool) "cpi positive" true (a.Analysis.cpi > 0.0);
+  Alcotest.(check bool) "kopt in range" true
+    (a.Analysis.kopt >= 1 && a.Analysis.kopt <= quick.Analysis.kmax)
+
+let test_analysis_deterministic () =
+  let a = Analysis.analyze quick "mgrid" and b = Analysis.analyze quick "mgrid" in
+  Alcotest.(check (float 1e-12)) "same variance" a.Analysis.cpi_variance b.Analysis.cpi_variance;
+  Alcotest.(check (float 1e-12)) "same re" a.Analysis.re_kopt b.Analysis.re_kopt
+
+let test_analysis_unknown_workload () =
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Analysis.analyze quick "not_a_workload"))
+
+let test_analysis_breakdown_consistent () =
+  let a = Analysis.analyze quick "odb_h_q13" in
+  Alcotest.(check (float 0.15)) "mean breakdown ~ cpi" a.Analysis.cpi
+    (March.Breakdown.total a.Analysis.breakdown)
+
+(* ----------------------------- Experiments ------------------------- *)
+
+let test_experiments_registry () =
+  Alcotest.(check bool) "many experiments" true (List.length Experiments.all >= 18);
+  List.iter
+    (fun id -> ignore (Experiments.find id))
+    [ "table1"; "fig2"; "fig8"; "fig10"; "table2"; "kmeans"; "machines"; "intervals" ];
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (Experiments.find "fig99"))
+
+let test_experiments_cache () =
+  Experiments.clear_cache ();
+  let a = Experiments.analyze_cached quick "gzip" in
+  let b = Experiments.analyze_cached quick "gzip" in
+  Alcotest.(check bool) "cached object reused" true (a == b)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table1_experiment_output () =
+  let s = (Experiments.find "table1").Experiments.run quick in
+  Alcotest.(check bool) "mentions root split" true (contains ~sub:"EIP_0 <= 20" s)
+
+(* ------------------------------ Example ---------------------------- *)
+
+let test_example_dataset () =
+  let ds = Example.dataset () in
+  Alcotest.(check int) "8 rows" 8 (Rtree.Dataset.n ds);
+  Alcotest.(check int) "3 features" 3 ds.Rtree.Dataset.n_features
+
+let test_example_renders () =
+  Alcotest.(check bool) "table text" true (String.length (Example.render_table ()) > 100);
+  Alcotest.(check bool) "tree text" true (String.length (Example.render_tree ()) > 50)
+
+(* ----------------------------- Techniques -------------------------- *)
+
+(* A synthetic EIPV set with two clean phases lets us reason about
+   technique behaviour without simulation noise. *)
+let synthetic_eipv () =
+  let w = (Workload.Catalog.find "mgrid").Workload.Catalog.build ~seed:3 ~scale:0.1 in
+  let cpu = March.Cpu.create March.Config.itanium2 in
+  let run = Sampling.Driver.run w ~cpu ~rng:(Rng.create 3) ~samples:1600 in
+  Sampling.Eipv.build run ~samples_per_interval:40
+
+let test_estimate_fields () =
+  let ev = synthetic_eipv () in
+  List.iter
+    (fun t ->
+      let e = Techniques.estimate t (Rng.create 7) ev ~budget:8 in
+      Alcotest.(check bool) "picked non-empty" true (List.length e.Techniques.picked > 0);
+      Alcotest.(check bool) "picked within range" true
+        (List.for_all
+           (fun i -> i >= 0 && i < Array.length ev.Sampling.Eipv.intervals)
+           e.Techniques.picked);
+      Alcotest.(check bool) "true cpi positive" true (e.Techniques.true_cpi > 0.0);
+      Alcotest.(check bool) "error finite" true (Float.is_finite e.Techniques.rel_error))
+    Techniques.all
+
+let test_uniform_full_budget_exact () =
+  let ev = synthetic_eipv () in
+  let m = Array.length ev.Sampling.Eipv.intervals in
+  let e = Techniques.estimate Techniques.Uniform (Rng.create 7) ev ~budget:m in
+  (* Sampling every interval: estimate = unweighted mean, close to true. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "error %.4f tiny" e.Techniques.rel_error)
+    true (e.Techniques.rel_error < 0.02)
+
+let test_budget_clamped () =
+  let ev = synthetic_eipv () in
+  let e = Techniques.estimate Techniques.Random (Rng.create 7) ev ~budget:10_000 in
+  Alcotest.(check int) "clamped to m"
+    (Array.length ev.Sampling.Eipv.intervals)
+    (List.length e.Techniques.picked)
+
+let test_evaluate_all_techniques () =
+  let ev = synthetic_eipv () in
+  let entries = Techniques.evaluate ~trials:3 (Rng.create 9) ev ~budget:6 in
+  Alcotest.(check int) "4 techniques" 4 (List.length entries);
+  List.iter
+    (fun (_, e) -> Alcotest.(check bool) "bounded error" true (e >= 0.0 && e < 1.0))
+    entries
+
+let test_recommendations () =
+  Alcotest.(check string) "Q1 uniform" "uniform"
+    (Techniques.to_string (Techniques.recommend Quadrant.Q1));
+  Alcotest.(check string) "Q3 random" "random"
+    (Techniques.to_string (Techniques.recommend Quadrant.Q3));
+  Alcotest.(check string) "Q4 phase" "phase_based"
+    (Techniques.to_string (Techniques.recommend Quadrant.Q4));
+  List.iter
+    (fun q -> Alcotest.(check bool) "rationale text" true (String.length (Techniques.rationale q) > 20))
+    [ Quadrant.Q1; Quadrant.Q2; Quadrant.Q3; Quadrant.Q4 ]
+
+(* ------------------------------- Report ---------------------------- *)
+
+let test_report_renders () =
+  let a = Analysis.analyze quick "gzip" in
+  Alcotest.(check bool) "re curve" true (String.length (Report.re_curve a.Analysis.curve) > 20);
+  Alcotest.(check bool) "spread" true (String.length (Report.spread a.Analysis.run ~points:20) > 20);
+  Alcotest.(check bool) "breakdown" true
+    (String.length (Report.breakdown_series a.Analysis.eipv ~points:8) > 20);
+  Alcotest.(check bool) "table" true (String.length (Report.analysis_table [ a ]) > 20);
+  Alcotest.(check bool) "counts" true (String.length (Report.quadrant_counts [ a ]) > 10)
+
+let () =
+  Alcotest.run "fuzzy"
+    [
+      ( "quadrant",
+        [
+          Alcotest.test_case "classify" `Quick test_quadrant_classify;
+          Alcotest.test_case "thresholds inclusive" `Quick test_quadrant_thresholds_inclusive;
+          Alcotest.test_case "custom thresholds" `Quick test_quadrant_custom_thresholds;
+          Alcotest.test_case "int roundtrip" `Quick test_quadrant_int_roundtrip;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "quick run" `Slow test_analysis_quick_runs;
+          Alcotest.test_case "deterministic" `Slow test_analysis_deterministic;
+          Alcotest.test_case "unknown workload" `Quick test_analysis_unknown_workload;
+          Alcotest.test_case "breakdown consistency" `Slow test_analysis_breakdown_consistent;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "registry" `Quick test_experiments_registry;
+          Alcotest.test_case "cache" `Slow test_experiments_cache;
+          Alcotest.test_case "table1 output" `Quick test_table1_experiment_output;
+        ] );
+      ( "example",
+        [
+          Alcotest.test_case "dataset" `Quick test_example_dataset;
+          Alcotest.test_case "renders" `Quick test_example_renders;
+        ] );
+      ( "techniques",
+        [
+          Alcotest.test_case "estimate fields" `Slow test_estimate_fields;
+          Alcotest.test_case "uniform full budget" `Slow test_uniform_full_budget_exact;
+          Alcotest.test_case "budget clamped" `Slow test_budget_clamped;
+          Alcotest.test_case "evaluate all" `Slow test_evaluate_all_techniques;
+          Alcotest.test_case "recommendations" `Quick test_recommendations;
+        ] );
+      ("report", [ Alcotest.test_case "renders" `Slow test_report_renders ]);
+    ]

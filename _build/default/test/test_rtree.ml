@@ -1,0 +1,270 @@
+(* Tests for the CART regression tree and its cross-validation. *)
+
+module Sv = Stats.Sparse_vec
+module Dataset = Rtree.Dataset
+module Tree = Rtree.Tree
+module Cv = Rtree.Cv
+
+let sv pairs = Sv.of_assoc pairs
+
+let dense_row a = Sv.of_dense a
+
+(* Small deterministic data set: y = 1 if x0 > 5 else 0. *)
+let step_dataset n =
+  let rows = Array.init n (fun i -> dense_row [| float_of_int (i mod 11) |]) in
+  let y = Array.map (fun r -> if Sv.get r 0 > 5.0 then 1.0 else 0.0) rows in
+  Dataset.make ~rows ~y
+
+let test_dataset_basics () =
+  let ds = step_dataset 22 in
+  Alcotest.(check int) "n" 22 (Dataset.n ds);
+  Alcotest.(check int) "n_features" 1 ds.Dataset.n_features;
+  Alcotest.(check bool) "variance > 0" true (Dataset.y_variance ds > 0.0)
+
+let test_dataset_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Dataset.make: empty data set") (fun () ->
+      ignore (Dataset.make ~rows:[||] ~y:[||]))
+
+let test_dataset_rejects_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Dataset.make: rows/y length mismatch")
+    (fun () -> ignore (Dataset.make ~rows:[| Sv.empty |] ~y:[| 1.0; 2.0 |]))
+
+let test_dataset_restrict () =
+  let ds = step_dataset 22 in
+  let sub = Dataset.restrict ds [| 0; 1; 2 |] in
+  Alcotest.(check int) "restricted n" 3 (Dataset.n sub)
+
+let test_tree_perfect_split () =
+  let ds = step_dataset 44 in
+  let t = Tree.build ~max_leaves:2 ds in
+  Alcotest.(check int) "2 leaves" 2 (Tree.n_leaves t);
+  (* Perfect predictions on the training data. *)
+  Array.iteri
+    (fun i row ->
+      Alcotest.(check (float 1e-9)) "prediction" ds.Dataset.y.(i) (Tree.predict t row))
+    ds.Dataset.rows
+
+let test_tree_single_leaf_is_mean () =
+  let ds = step_dataset 22 in
+  let t = Tree.build ~max_leaves:1 ds in
+  Alcotest.(check int) "one leaf" 1 (Tree.n_leaves t);
+  Alcotest.(check (float 1e-9)) "mean" (Dataset.y_mean ds) (Tree.predict t (dense_row [| 3.0 |]))
+
+let test_tree_constant_target_no_split () =
+  let rows = Array.init 10 (fun i -> dense_row [| float_of_int i |]) in
+  let ds = Dataset.make ~rows ~y:(Array.make 10 2.5) in
+  let t = Tree.build ~max_leaves:8 ds in
+  Alcotest.(check int) "no split on constant y" 1 (Tree.n_leaves t)
+
+let test_tree_min_leaf_respected () =
+  let ds = step_dataset 20 in
+  let t = Tree.build ~min_leaf:8 ~max_leaves:10 ds in
+  let rec check = function
+    | Tree.Leaf { n; _ } -> Alcotest.(check bool) "leaf size >= 8" true (n >= 8)
+    | Tree.Split { left; right; _ } ->
+        check left;
+        check right
+  in
+  check (Tree.root t)
+
+let test_tree_nested_prediction () =
+  (* predict_k with k = n_leaves equals predict; k=1 equals global mean. *)
+  let ds = step_dataset 33 in
+  let t = Tree.build ~max_leaves:6 ds in
+  let k = Tree.n_leaves t in
+  Array.iter
+    (fun row ->
+      Alcotest.(check (float 1e-9)) "k=full" (Tree.predict t row) (Tree.predict_k t ~k row);
+      Alcotest.(check (float 1e-9)) "k=1" (Dataset.y_mean ds) (Tree.predict_k t ~k:1 row))
+    ds.Dataset.rows
+
+let test_tree_gains_non_increasing () =
+  let rng = Stats.Rng.create 3 in
+  let rows =
+    Array.init 60 (fun _ ->
+        dense_row [| Stats.Rng.float rng 10.0; Stats.Rng.float rng 10.0 |])
+  in
+  let y =
+    Array.map (fun r -> Sv.get r 0 +. (2.0 *. Sv.get r 1) +. Stats.Rng.float rng 0.1) rows
+  in
+  let ds = Dataset.make ~rows ~y in
+  let t = Tree.build ~max_leaves:12 ds in
+  let gains = Tree.split_gains t in
+  for i = 1 to Array.length gains - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "gain %d <= gain %d" i (i - 1))
+      true
+      (gains.(i) <= gains.(i - 1) +. 1e-9)
+  done
+
+let test_training_sse_non_increasing () =
+  let ds = step_dataset 40 in
+  let t = Tree.build ~max_leaves:8 ds in
+  let curve = Tree.training_sse_curve t ds ~kmax:8 in
+  for i = 1 to Array.length curve - 1 do
+    Alcotest.(check bool) "training error non-increasing" true (curve.(i) <= curve.(i - 1) +. 1e-9)
+  done
+
+let test_tree_sparse_zero_handling () =
+  (* Feature present in only some rows: absent = count 0, and the paper's
+     "<= threshold goes left" applies to the implicit zeros. *)
+  let rows =
+    [|
+      sv [ (5, 10.0) ]; sv [ (5, 12.0) ]; sv []; sv []; sv [ (5, 11.0) ]; sv [];
+    |]
+  in
+  let y = [| 2.0; 2.1; 0.5; 0.4; 2.05; 0.45 |] in
+  let ds = Dataset.make ~rows ~y in
+  let t = Tree.build ~max_leaves:2 ds in
+  match Tree.root t with
+  | Tree.Split { feature; threshold; _ } ->
+      Alcotest.(check int) "split feature" 5 feature;
+      Alcotest.(check bool) "threshold separates zeros" true (threshold < 10.0);
+      Alcotest.(check (float 0.01)) "zero rows mean" 0.45 (Tree.predict t (sv []))
+  | Tree.Leaf _ -> Alcotest.fail "expected a split"
+
+let test_tree_deterministic () =
+  let ds = step_dataset 30 in
+  let t1 = Tree.build ~max_leaves:5 ds and t2 = Tree.build ~max_leaves:5 ds in
+  Array.iter
+    (fun row ->
+      Alcotest.(check (float 1e-12)) "same predictions" (Tree.predict t1 row) (Tree.predict t2 row))
+    ds.Dataset.rows
+
+let test_depth_positive () =
+  let ds = step_dataset 30 in
+  let t = Tree.build ~max_leaves:4 ds in
+  Alcotest.(check bool) "depth >= 2" true (Tree.depth t >= 2)
+
+(* ----------------------------- Figure 1 ---------------------------- *)
+
+let test_paper_example_tree () =
+  let t = Fuzzy.Example.tree () in
+  (match Tree.root t with
+  | Tree.Split { feature = 0; threshold = 20.0; left; right; _ } ->
+      (match left with
+      | Tree.Split { feature = 2; threshold = 60.0; _ } -> ()
+      | _ -> Alcotest.fail "left subtree should split on (EIP2, 60)");
+      (match right with
+      | Tree.Split { feature = 1; threshold = 0.0; _ } -> ()
+      | _ -> Alcotest.fail "right subtree should split on (EIP1, 0)")
+  | _ -> Alcotest.fail "root should split on (EIP0, 20)");
+  let chambers = Fuzzy.Example.chambers () in
+  Alcotest.(check int) "4 chambers" 4 (List.length chambers);
+  let members = List.map fst chambers in
+  Alcotest.(check bool) "paper chambers" true
+    (List.mem [ 0; 1 ] members && List.mem [ 2; 6 ] members && List.mem [ 4; 5 ] members
+   && List.mem [ 3; 7 ] members)
+
+(* ------------------------------- CV -------------------------------- *)
+
+let test_cv_perfectly_predictable () =
+  (* Two phases with distinct features and distinct y: RE should collapse. *)
+  let rng = Stats.Rng.create 5 in
+  let rows =
+    Array.init 80 (fun i ->
+        if i mod 2 = 0 then sv [ (0, 10.0 +. Stats.Rng.float rng 1.0) ]
+        else sv [ (1, 10.0 +. Stats.Rng.float rng 1.0) ])
+  in
+  let y = Array.init 80 (fun i -> if i mod 2 = 0 then 1.0 else 3.0) in
+  let ds = Dataset.make ~rows ~y in
+  let curve = Cv.relative_error_curve ~kmax:10 (Stats.Rng.create 7) ds in
+  Alcotest.(check bool)
+    (Printf.sprintf "RE_final small (%.4f)" (Cv.re_final curve))
+    true
+    (Cv.re_final curve < 0.05)
+
+let test_cv_unpredictable_noise () =
+  (* y independent of x: RE ~ 1 (or above). *)
+  let rng = Stats.Rng.create 11 in
+  let rows = Array.init 100 (fun _ -> sv [ (Stats.Rng.int rng 20, 1.0 +. Stats.Rng.float rng 5.0) ]) in
+  let y = Array.init 100 (fun _ -> Stats.Rng.float rng 1.0) in
+  let ds = Dataset.make ~rows ~y in
+  let curve = Cv.relative_error_curve ~kmax:20 (Stats.Rng.create 13) ds in
+  Alcotest.(check bool)
+    (Printf.sprintf "RE_min near/above 1 (%.3f)" (Cv.re_min curve))
+    true
+    (Cv.re_min curve > 0.7)
+
+let test_cv_re_one_at_k1 () =
+  let ds = step_dataset 50 in
+  let curve = Cv.relative_error_curve ~kmax:5 (Stats.Rng.create 17) ds in
+  (* k=1 predicts the training mean: held-out RE ~ 1. *)
+  Alcotest.(check bool) "RE_1 ~ 1" true (Float.abs (Cv.re_at curve 1 -. 1.0) < 0.2)
+
+let test_cv_zero_variance () =
+  let rows = Array.init 20 (fun i -> sv [ (i mod 3, 1.0) ]) in
+  let ds = Dataset.make ~rows ~y:(Array.make 20 1.5) in
+  let curve = Cv.relative_error_curve ~kmax:5 (Stats.Rng.create 19) ds in
+  Alcotest.(check (float 1e-12)) "RE 0 when Var=0" 0.0 (Cv.re_final curve)
+
+let test_kopt_rule () =
+  let curve =
+    {
+      Cv.k_values = [| 1; 2; 3; 4; 5 |];
+      e = [| 1.0; 0.5; 0.2; 0.19; 0.19 |];
+      re = [| 1.0; 0.5; 0.2; 0.19; 0.19 |];
+      variance = 1.0;
+    }
+  in
+  Alcotest.(check int) "kopt within 0.5%" 3 (Cv.kopt curve ~tol:0.02);
+  Alcotest.(check int) "tight tol" 4 (Cv.kopt curve ~tol:0.005);
+  Alcotest.(check int) "k at min" 4 (Cv.k_at_min curve)
+
+let test_training_error_curve_monotone () =
+  let ds = step_dataset 60 in
+  let curve = Cv.training_error_curve ~kmax:10 ds in
+  for i = 1 to Array.length curve.Cv.re - 1 do
+    Alcotest.(check bool) "training RE non-increasing" true
+      (curve.Cv.re.(i) <= curve.Cv.re.(i - 1) +. 1e-9)
+  done
+
+let prop_predict_k_between =
+  (* For any k, predict_k returns the mean of SOME ancestor node: it lies
+     within [min y, max y] of the training data. *)
+  QCheck2.Test.make ~name:"predict_k bounded by target range" ~count:50
+    QCheck2.Gen.(int_range 1 8)
+    (fun k ->
+      let ds = step_dataset 40 in
+      let t = Tree.build ~max_leaves:8 ds in
+      Array.for_all
+        (fun row ->
+          let p = Tree.predict_k t ~k row in
+          p >= -1e-9 && p <= 1.0 +. 1e-9)
+        ds.Dataset.rows)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "rtree"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "basics" `Quick test_dataset_basics;
+          Alcotest.test_case "rejects empty" `Quick test_dataset_rejects_empty;
+          Alcotest.test_case "rejects mismatch" `Quick test_dataset_rejects_mismatch;
+          Alcotest.test_case "restrict" `Quick test_dataset_restrict;
+        ] );
+      ( "tree",
+        Alcotest.test_case "perfect split" `Quick test_tree_perfect_split
+        :: Alcotest.test_case "single leaf is mean" `Quick test_tree_single_leaf_is_mean
+        :: Alcotest.test_case "constant target" `Quick test_tree_constant_target_no_split
+        :: Alcotest.test_case "min_leaf" `Quick test_tree_min_leaf_respected
+        :: Alcotest.test_case "nested prediction" `Quick test_tree_nested_prediction
+        :: Alcotest.test_case "gains non-increasing" `Quick test_tree_gains_non_increasing
+        :: Alcotest.test_case "training sse non-increasing" `Quick test_training_sse_non_increasing
+        :: Alcotest.test_case "sparse zero handling" `Quick test_tree_sparse_zero_handling
+        :: Alcotest.test_case "deterministic" `Quick test_tree_deterministic
+        :: Alcotest.test_case "depth" `Quick test_depth_positive
+        :: qcheck [ prop_predict_k_between ] );
+      ("paper_example", [ Alcotest.test_case "figure 1 tree" `Quick test_paper_example_tree ]);
+      ( "cv",
+        [
+          Alcotest.test_case "predictable -> RE ~ 0" `Quick test_cv_perfectly_predictable;
+          Alcotest.test_case "noise -> RE ~ 1" `Quick test_cv_unpredictable_noise;
+          Alcotest.test_case "RE_1 ~ 1" `Quick test_cv_re_one_at_k1;
+          Alcotest.test_case "zero variance" `Quick test_cv_zero_variance;
+          Alcotest.test_case "kopt rule" `Quick test_kopt_rule;
+          Alcotest.test_case "training curve monotone" `Quick test_training_error_curve_monotone;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Tests for the sampling driver and EIPV construction. *)
+
+module Driver = Sampling.Driver
+module Eipv = Sampling.Eipv
+module Catalog = Workload.Catalog
+module Rng = Stats.Rng
+
+let small_run ?(name = "gzip") ?(samples = 600) () =
+  let w = (Catalog.find name).Catalog.build ~seed:5 ~scale:0.05 in
+  let cpu = March.Cpu.create March.Config.itanium2 in
+  Driver.run w ~cpu ~rng:(Rng.create 5) ~samples
+
+let test_driver_sample_count () =
+  let run = small_run () in
+  Alcotest.(check int) "samples" 600 (Array.length run.Driver.samples);
+  Alcotest.(check int) "period default" 20_000 run.Driver.period
+
+let test_driver_samples_have_positive_cost () =
+  let run = small_run () in
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "instrs > 0" true (s.Driver.instrs > 0);
+      Alcotest.(check bool) "cycles > 0" true (s.Driver.cycles > 0.0);
+      Alcotest.(check bool) "cpi sane" true
+        (s.Driver.cycles /. float_of_int s.Driver.instrs < 100.0))
+    run.Driver.samples
+
+let test_driver_totals_consistent () =
+  let run = small_run () in
+  let instrs = Array.fold_left (fun a s -> a + s.Driver.instrs) 0 run.Driver.samples in
+  let cycles = Array.fold_left (fun a s -> a +. s.Driver.cycles) 0.0 run.Driver.samples in
+  Alcotest.(check int) "instr total" run.Driver.total_instrs instrs;
+  Alcotest.(check (float 1e-6)) "cycle total" run.Driver.total_cycles cycles;
+  Alcotest.(check (float 1e-9)) "cpi" (cycles /. float_of_int instrs) (Driver.cpi run)
+
+let test_driver_deterministic () =
+  let a = small_run () and b = small_run () in
+  Alcotest.(check (float 1e-12)) "same cpi" (Driver.cpi a) (Driver.cpi b);
+  Array.iteri
+    (fun i s -> Alcotest.(check int) "same eips" s.Driver.eip b.Driver.samples.(i).Driver.eip)
+    a.Driver.samples
+
+let test_driver_multithread_switches () =
+  let run = small_run ~name:"odb_c" ~samples:800 () in
+  Alcotest.(check bool) "context switches happen" true (run.Driver.context_switches > 10);
+  let tids = Hashtbl.create 8 in
+  Array.iter (fun s -> Hashtbl.replace tids s.Driver.tid ()) run.Driver.samples;
+  Alcotest.(check bool) "multiple threads sampled" true (Hashtbl.length tids > 1);
+  Alcotest.(check bool) "os time accounted" true (Driver.os_fraction run > 0.01)
+
+let test_driver_spec_vs_server_switch_rates () =
+  let spec = small_run ~name:"gzip" ~samples:600 () in
+  let server = small_run ~name:"odb_c" ~samples:600 () in
+  Alcotest.(check bool) "server switches much more" true
+    (Driver.context_switches_per_minstr server
+    > 10.0 *. Driver.context_switches_per_minstr spec)
+
+let test_driver_validation () =
+  let w = (Catalog.find "gzip").Catalog.build ~seed:5 ~scale:0.05 in
+  let cpu = March.Cpu.create March.Config.itanium2 in
+  Alcotest.check_raises "samples" (Invalid_argument "Driver.run: samples must be positive")
+    (fun () -> ignore (Driver.run w ~cpu ~rng:(Rng.create 1) ~samples:0))
+
+(* -------------------------------- Eipv ----------------------------- *)
+
+let test_eipv_interval_count () =
+  let run = small_run ~samples:650 () in
+  let ev = Eipv.build run ~samples_per_interval:100 in
+  Alcotest.(check int) "6 full intervals" 6 (Array.length ev.Eipv.intervals)
+
+let test_eipv_counts_sum_to_spi () =
+  let run = small_run () in
+  let ev = Eipv.build run ~samples_per_interval:50 in
+  Array.iter
+    (fun iv ->
+      Alcotest.(check (float 1e-9)) "histogram mass = samples" 50.0
+        (Stats.Sparse_vec.sum iv.Eipv.eipv))
+    ev.Eipv.intervals
+
+let test_eipv_cpi_matches_samples () =
+  let run = small_run () in
+  let ev = Eipv.build run ~samples_per_interval:100 in
+  let iv = ev.Eipv.intervals.(0) in
+  let cycles = ref 0.0 and instrs = ref 0 in
+  for i = 0 to 99 do
+    cycles := !cycles +. run.Driver.samples.(i).Driver.cycles;
+    instrs := !instrs + run.Driver.samples.(i).Driver.instrs
+  done;
+  Alcotest.(check (float 1e-9)) "instantaneous CPI" (!cycles /. float_of_int !instrs) iv.Eipv.cpi
+
+let test_eipv_features_cover_eips () =
+  let run = small_run () in
+  let ev = Eipv.build run ~samples_per_interval:100 in
+  Alcotest.(check int) "feature count" ev.Eipv.n_features (Array.length ev.Eipv.eip_of_feature);
+  (* Every feature id used in vectors is within range. *)
+  Array.iter
+    (fun iv ->
+      Stats.Sparse_vec.iter
+        (fun f _ -> Alcotest.(check bool) "feature in range" true (f < ev.Eipv.n_features))
+        iv.Eipv.eipv)
+    ev.Eipv.intervals
+
+let test_eipv_dataset_roundtrip () =
+  let run = small_run () in
+  let ev = Eipv.build run ~samples_per_interval:100 in
+  let ds = Eipv.dataset ev in
+  Alcotest.(check int) "dataset rows" (Array.length ev.Eipv.intervals) (Rtree.Dataset.n ds);
+  Alcotest.(check (float 1e-12)) "variance consistent" (Eipv.cpi_variance ev)
+    (Rtree.Dataset.y_variance ds)
+
+let test_eipv_rejects_too_few () =
+  let run = small_run ~samples:30 () in
+  Alcotest.check_raises "not enough"
+    (Invalid_argument "Eipv.build: not enough samples for one interval") (fun () ->
+      ignore (Eipv.build run ~samples_per_interval:100))
+
+let test_eipv_per_thread_partition () =
+  let run = small_run ~name:"odb_c" ~samples:1200 () in
+  let per = Eipv.build_per_thread run ~samples_per_interval:20 in
+  Alcotest.(check bool) "several threads" true (Array.length per > 1);
+  Array.iter
+    (fun (tid, ev) ->
+      Array.iter
+        (fun iv ->
+          ignore iv;
+          ())
+        ev.Eipv.intervals;
+      Alcotest.(check bool) (Printf.sprintf "tid %d has intervals" tid) true
+        (Array.length ev.Eipv.intervals > 0))
+    per
+
+let test_eipv_thread_separated_pool () =
+  let run = small_run ~name:"odb_c" ~samples:1200 () in
+  let pooled = Eipv.build_thread_separated run ~samples_per_interval:20 in
+  let per = Eipv.build_per_thread run ~samples_per_interval:20 in
+  let total = Array.fold_left (fun a (_, ev) -> a + Array.length ev.Eipv.intervals) 0 per in
+  Alcotest.(check int) "pooled = sum of per-thread" total (Array.length pooled.Eipv.intervals)
+
+let test_breakdown_components_positive () =
+  let run = small_run () in
+  let ev = Eipv.build run ~samples_per_interval:100 in
+  Array.iter
+    (fun iv ->
+      let b = iv.Eipv.breakdown in
+      Alcotest.(check bool) "work > 0" true (b.March.Breakdown.work > 0.0);
+      Alcotest.(check bool) "components non-negative" true
+        (b.March.Breakdown.fe >= 0.0 && b.March.Breakdown.exe >= 0.0
+       && b.March.Breakdown.other >= 0.0);
+      Alcotest.(check (float 1e-6)) "breakdown sums to CPI" iv.Eipv.cpi
+        (March.Breakdown.total b))
+    ev.Eipv.intervals
+
+let () =
+  Alcotest.run "sampling"
+    [
+      ( "driver",
+        [
+          Alcotest.test_case "sample count" `Quick test_driver_sample_count;
+          Alcotest.test_case "positive costs" `Quick test_driver_samples_have_positive_cost;
+          Alcotest.test_case "totals consistent" `Quick test_driver_totals_consistent;
+          Alcotest.test_case "deterministic" `Quick test_driver_deterministic;
+          Alcotest.test_case "multithread switches" `Quick test_driver_multithread_switches;
+          Alcotest.test_case "spec vs server switch rate" `Quick
+            test_driver_spec_vs_server_switch_rates;
+          Alcotest.test_case "validation" `Quick test_driver_validation;
+        ] );
+      ( "eipv",
+        [
+          Alcotest.test_case "interval count" `Quick test_eipv_interval_count;
+          Alcotest.test_case "counts sum to spi" `Quick test_eipv_counts_sum_to_spi;
+          Alcotest.test_case "instantaneous CPI" `Quick test_eipv_cpi_matches_samples;
+          Alcotest.test_case "features cover eips" `Quick test_eipv_features_cover_eips;
+          Alcotest.test_case "dataset roundtrip" `Quick test_eipv_dataset_roundtrip;
+          Alcotest.test_case "rejects too few samples" `Quick test_eipv_rejects_too_few;
+          Alcotest.test_case "per-thread partition" `Quick test_eipv_per_thread_partition;
+          Alcotest.test_case "thread-separated pooling" `Quick test_eipv_thread_separated_pool;
+          Alcotest.test_case "breakdown components" `Quick test_breakdown_components_positive;
+        ] );
+    ]
