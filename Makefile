@@ -1,0 +1,21 @@
+# Convenience targets mirroring CI.
+
+.PHONY: build check test bench clean
+
+build:
+	dune build
+
+# The determinism gate: the whole suite must pass both fully serial and
+# on a 4-domain pool (the equivalence tests compare the two bit-for-bit).
+check: build
+	JOBS=1 dune runtest --force
+	JOBS=4 dune runtest --force
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- --quick
+
+clean:
+	dune clean

@@ -9,32 +9,40 @@
       ablation benches called out in DESIGN.md, reporting ns/run.
 
    `dune exec bench/main.exe -- --bench-only` or `--experiments-only`
-   restricts to one half; `--quick` shrinks the experiment scale. *)
+   restricts to one half; `--quick` shrinks the experiment scale;
+   `--jobs N` sets the worker-domain count for the CV fold fan-out and
+   multi-workload sweeps (default: JOBS env, else the recommended domain
+   count capped at 8).  Results are bit-identical for every N. *)
 
 open Bechamel
 open Toolkit
 
 (* ------------------------- experiment harness ---------------------- *)
 
-let experiment_config ~quick =
+let experiment_config ~quick ~jobs =
   let intervals =
     match Sys.getenv_opt "REPRO_INTERVALS" with
     | Some s -> int_of_string s
     | None -> if quick then 64 else 256
   in
-  { Fuzzy.Analysis.default with Fuzzy.Analysis.intervals }
+  { Fuzzy.Analysis.default with Fuzzy.Analysis.intervals; jobs }
 
 let run_experiments config =
+  let wall0 = Unix.gettimeofday () in
   List.iter
     (fun e ->
       Printf.printf "==================== %s ====================\n" e.Fuzzy.Experiments.id;
       Printf.printf "%s\npaper shape: %s\n\n" e.Fuzzy.Experiments.title
         e.Fuzzy.Experiments.paper_claim;
-      let t0 = Sys.time () in
+      let t0 = Sys.time () and w0 = Unix.gettimeofday () in
       print_string (e.Fuzzy.Experiments.run config);
-      Printf.printf "[%s regenerated in %.1fs cpu]\n\n%!" e.Fuzzy.Experiments.id
-        (Sys.time () -. t0))
-    Fuzzy.Experiments.all
+      Printf.printf "[%s regenerated in %.1fs cpu, %.1fs wall]\n\n%!" e.Fuzzy.Experiments.id
+        (Sys.time () -. t0)
+        (Unix.gettimeofday () -. w0))
+    Fuzzy.Experiments.all;
+  Printf.printf "[experiments phase: %.1fs wall at jobs=%d]\n\n%!"
+    (Unix.gettimeofday () -. wall0)
+    config.Fuzzy.Analysis.jobs
 
 (* --------------------------- ablation: trees ----------------------- *)
 
@@ -213,10 +221,26 @@ let run_benchmarks () =
 
 (* -------------------------------- main ------------------------------ *)
 
+let jobs_of_args args =
+  let rec go = function
+    | "--jobs" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> j
+        | Some _ | None -> failwith "bench: --jobs expects a positive integer")
+    | _ :: rest -> go rest
+    | [] -> Parallel.Pool.default_jobs ()
+  in
+  go args
+
 let () =
   let args = Array.to_list Sys.argv in
   let bench_only = List.mem "--bench-only" args in
   let experiments_only = List.mem "--experiments-only" args in
   let quick = List.mem "--quick" args in
-  if not bench_only then run_experiments (experiment_config ~quick);
-  if not experiments_only then run_benchmarks ()
+  let jobs = jobs_of_args args in
+  if not bench_only then run_experiments (experiment_config ~quick ~jobs);
+  if not experiments_only then begin
+    let w0 = Unix.gettimeofday () in
+    run_benchmarks ();
+    Printf.printf "[benchmark phase: %.1fs wall]\n%!" (Unix.gettimeofday () -. w0)
+  end

@@ -31,7 +31,17 @@ let config_term =
           "itanium2"
       & info [ "machine" ] ~doc:"Machine model: itanium2, pentium4 or xeon.")
   in
-  let build quick seed scale intervals spi machine =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker domains for the CV fold fan-out and workload sweeps (default: the JOBS \
+             environment variable, else the recommended domain count capped at 8).  Results \
+             are bit-identical for every value; 1 runs fully serially.")
+  in
+  let build quick seed scale intervals spi machine jobs =
     let base = if quick then Fuzzy.Analysis.quick else Fuzzy.Analysis.default in
     let base = { base with Fuzzy.Analysis.seed; machine = March.Config.by_name machine } in
     let base =
@@ -40,11 +50,16 @@ let config_term =
     let base =
       match intervals with Some i -> { base with Fuzzy.Analysis.intervals = i } | None -> base
     in
-    match spi with
-    | Some s -> { base with Fuzzy.Analysis.samples_per_interval = s }
-    | None -> base
+    let base =
+      match spi with
+      | Some s -> { base with Fuzzy.Analysis.samples_per_interval = s }
+      | None -> base
+    in
+    match jobs with
+    | Some j when j >= 1 -> { base with Fuzzy.Analysis.jobs = j }
+    | Some _ | None -> base
   in
-  Term.(const build $ quick $ seed $ scale $ intervals $ spi $ machine)
+  Term.(const build $ quick $ seed $ scale $ intervals $ spi $ machine $ jobs)
 
 let list_cmd =
   let run () =

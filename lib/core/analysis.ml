@@ -8,6 +8,7 @@ type config = {
   kmax : int;
   folds : int;
   kopt_tol : float;
+  jobs : int;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     kmax = 50;
     folds = 10;
     kopt_tol = 0.005;
+    jobs = Parallel.Pool.default_jobs ();
   }
 
 let quick =
@@ -52,12 +54,14 @@ let mean_breakdown (eipv : Sampling.Eipv.t) =
   in
   March.Breakdown.scale acc (1.0 /. float_of_int (Array.length eipv.Sampling.Eipv.intervals))
 
+let pool config = Parallel.Pool.shared ~jobs:config.jobs
+
 let of_intervals config ~name ~run eipv =
   let cpis = Sampling.Eipv.cpis eipv in
   let cpi_variance = Stats.Describe.variance cpis in
   let ds = Sampling.Eipv.dataset eipv in
   let curve =
-    Rtree.Cv.relative_error_curve ~folds:config.folds ~kmax:config.kmax
+    Rtree.Cv.relative_error_curve ~pool:(pool config) ~folds:config.folds ~kmax:config.kmax
       (Stats.Rng.create (config.seed + 1))
       ds
   in
@@ -84,7 +88,10 @@ let of_intervals config ~name ~run eipv =
 
 let analyze_model config model =
   let cpu = March.Cpu.create config.machine in
-  let rng = Stats.Rng.create config.seed in
+  (* Each workload gets its own stream derived from (seed, name): results
+     are a function of that pair alone, never of which pool worker or in
+     which order the workload happened to run. *)
+  let rng = Stats.Rng.split_label config.seed model.Workload.Model.name in
   let samples = config.intervals * config.samples_per_interval in
   let run = Sampling.Driver.run ~period:config.period model ~cpu ~rng ~samples in
   let eipv = Sampling.Eipv.build run ~samples_per_interval:config.samples_per_interval in

@@ -12,6 +12,12 @@ type config = {
   kmax : int;
   folds : int;
   kopt_tol : float;  (** the paper's 0.5% rule for k_opt *)
+  jobs : int;
+      (** Worker-domain count for the CV fold fan-out and workload sweeps.
+          Results are bit-identical for every value; 1 means fully serial.
+          Defaults to [Parallel.Pool.default_jobs ()] (the [JOBS]
+          environment variable, else the recommended domain count capped
+          at 8). *)
 }
 
 val default : config
@@ -46,6 +52,9 @@ val analyze : config -> string -> t
 val of_intervals : config -> name:string -> run:Sampling.Driver.run -> Sampling.Eipv.t -> t
 (** Analyze pre-built intervals (used for per-thread EIPVs and interval-
     size sweeps). *)
+
+val pool : config -> Parallel.Pool.t
+(** The shared pool for [config.jobs] (serial when [jobs = 1]). *)
 
 val exe_fraction : t -> float
 val pp_summary : Format.formatter -> t -> unit

@@ -6,7 +6,11 @@ type t = {
 }
 
 let cache : (string, Analysis.t) Hashtbl.t = Hashtbl.create 32
+let cache_mutex = Mutex.create ()
 
+(* [jobs] is deliberately absent from the key: the parallel layer
+   guarantees bit-identical results for every jobs value, so analyses are
+   shared across jobs settings. *)
 let cache_key (config : Analysis.config) name =
   Printf.sprintf "%s|%d|%f|%s|%d|%d|%d" name config.Analysis.seed config.Analysis.scale
     config.Analysis.machine.March.Config.name config.Analysis.intervals
@@ -14,14 +18,37 @@ let cache_key (config : Analysis.config) name =
 
 let analyze_cached config name =
   let key = cache_key config name in
-  match Hashtbl.find_opt cache key with
+  let lookup () =
+    Mutex.lock cache_mutex;
+    let r = Hashtbl.find_opt cache key in
+    Mutex.unlock cache_mutex;
+    r
+  in
+  match lookup () with
   | Some a -> a
-  | None ->
+  | None -> (
+      (* Compute outside the lock; concurrent workers may race on the
+         same key, in which case the first insert wins so callers always
+         share one physical result. *)
       let a = Analysis.analyze config name in
-      Hashtbl.add cache key a;
-      a
+      Mutex.lock cache_mutex;
+      match Hashtbl.find_opt cache key with
+      | Some existing ->
+          Mutex.unlock cache_mutex;
+          existing
+      | None ->
+          Hashtbl.add cache key a;
+          Mutex.unlock cache_mutex;
+          a)
 
-let clear_cache () = Hashtbl.reset cache
+let clear_cache () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_mutex
+
+let analyze_many config names =
+  let pool = Analysis.pool config in
+  Array.to_list (Parallel.Pool.map pool (analyze_cached config) (Array.of_list names))
 
 let buf_printf = Printf.bprintf
 
@@ -45,7 +72,11 @@ let table1 _config =
 (* Figures 2-5: ODB-C and SjAS.                                        *)
 
 let fig2 config =
-  let odbc = analyze_cached config "odb_c" and sjas = analyze_cached config "sjas" in
+  let odbc, sjas =
+    match analyze_many config [ "odb_c"; "sjas" ] with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
   let b = Buffer.create 512 in
   buf_printf b "Figure 2: relative error vs number of chambers (k)\n\n%s\n"
     (Report.re_curves [ ("ODB-C", odbc.Analysis.curve); ("SjAS", sjas.Analysis.curve) ]);
@@ -87,7 +118,8 @@ let thread_fig ~figure name config =
       ~samples_per_interval:config.Analysis.samples_per_interval
   in
   let sep =
-    Rtree.Cv.relative_error_curve ~folds:config.Analysis.folds ~kmax:config.Analysis.kmax
+    Rtree.Cv.relative_error_curve ~pool:(Analysis.pool config) ~folds:config.Analysis.folds
+      ~kmax:config.Analysis.kmax
       (Stats.Rng.create (config.Analysis.seed + 2))
       (Sampling.Eipv.dataset sep_eipv)
   in
@@ -131,11 +163,11 @@ let fig12 config = breakdown_fig ~figure:"Figure 12" "odb_h_q18" config
 (* ------------------------------------------------------------------ *)
 (* Table 2 / Figure 13: quadrant classification of all 50 workloads.   *)
 
+let catalog_names () =
+  Array.to_list (Array.map (fun e -> e.Workload.Catalog.name) Workload.Catalog.all)
+
 let table2 config =
-  let results =
-    Array.to_list
-      (Array.map (fun e -> analyze_cached config e.Workload.Catalog.name) Workload.Catalog.all)
-  in
+  let results = analyze_many config (catalog_names ()) in
   let b = Buffer.create 2048 in
   buf_printf b "Table 2: benchmarks classified into quadrants\n";
   buf_printf b "(thresholds: CPI variance %g, RE %g)\n\n" Quadrant.default_var_threshold
@@ -160,6 +192,7 @@ let kmeans_workloads =
   [ "odb_c"; "sjas"; "odb_h_q13"; "odb_h_q18"; "odb_h_q5"; "mcf"; "gcc"; "mgrid"; "gzip"; "swim" ]
 
 let sec4_6 config =
+  ignore (analyze_many config kmeans_workloads);
   let results =
     List.map
       (fun name ->
@@ -178,6 +211,7 @@ let sec4_6 config =
 (* Section 5.2: threading statistics.                                  *)
 
 let sec5_2 config =
+  ignore (analyze_many config [ "odb_c"; "sjas"; "gzip"; "mcf" ]);
   let rows =
     List.map
       (fun name ->
@@ -278,10 +312,7 @@ let sec7_sampling config =
 (* Section 7.1: classification robustness to the two thresholds.       *)
 
 let sec7_1_thresholds config =
-  let results =
-    Array.to_list
-      (Array.map (fun e -> analyze_cached config e.Workload.Catalog.name) Workload.Catalog.all)
-  in
+  let results = analyze_many config (catalog_names ()) in
   let counts ~var_threshold ~re_threshold =
     let c = Array.make 4 0 in
     List.iter
@@ -525,6 +556,7 @@ optimiser decision moves the workload across the quadrant map.
 (* The paper's Section 3.3 future work: EIPVs (sampled) vs BBV-style
    full-profile vectors on the same intervals. *)
 let ext_bbv config =
+  ignore (analyze_many config [ "odb_h_q13"; "odb_h_q18"; "mcf"; "gcc"; "mgrid" ]);
   let rows =
     List.map
       (fun name ->
@@ -534,7 +566,8 @@ let ext_bbv config =
             ~samples_per_interval:config.Analysis.samples_per_interval
         in
         let rv_curve =
-          Rtree.Cv.relative_error_curve ~folds:config.Analysis.folds ~kmax:config.Analysis.kmax
+          Rtree.Cv.relative_error_curve ~pool:(Analysis.pool config) ~folds:config.Analysis.folds
+            ~kmax:config.Analysis.kmax
             (Stats.Rng.create (config.Analysis.seed + 5))
             (Sampling.Rvec.dataset rv)
         in
@@ -566,6 +599,7 @@ the limit is information-theoretic, not a sampling artifact.
    real, and fires on code changes that carry no CPI meaning (or misses
    CPI changes entirely) in the fuzzy quadrants. *)
 let ext_phase_detect config =
+  ignore (analyze_many config [ "mgrid"; "odb_h_q13"; "gzip"; "odb_h_q18"; "gcc" ]);
   let rows =
     List.map
       (fun name ->

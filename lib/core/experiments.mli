@@ -20,6 +20,14 @@ val find : string -> t
 val analyze_cached : Analysis.config -> string -> Analysis.t
 (** Memoised {!Analysis.analyze}: several experiments reuse the same
     workload runs (ODB-C and SjAS appear in Figures 2-7); the cache keys
-    on workload name and configuration. *)
+    on workload name and configuration (but not on [jobs] — results are
+    identical for every jobs value).  Thread-safe: the cache is
+    mutex-guarded so pool workers can share it. *)
+
+val analyze_many : Analysis.config -> string list -> Analysis.t list
+(** Analyze several catalog workloads concurrently on the shared pool for
+    [config.jobs], returning results in input order.  Each workload draws
+    its randomness from [Stats.Rng.split_label config.seed name], so the
+    output list is bit-identical to serially mapping {!analyze_cached}. *)
 
 val clear_cache : unit -> unit

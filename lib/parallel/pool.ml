@@ -1,0 +1,148 @@
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+  jobs : int;
+}
+
+let max_jobs = 64
+
+let clamp_jobs jobs = max 1 (min jobs max_jobs)
+
+let env_jobs () =
+  match Sys.getenv_opt "JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some (clamp_jobs n)
+      | Some _ | None -> None)
+
+let default_jobs ?(cap = 8) () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> clamp_jobs (min cap (Domain.recommended_domain_count ()))
+
+(* Workers loop popping tasks; on shutdown they first drain whatever is
+   still queued so no submitted task is silently dropped.  Tasks never
+   raise: [map] wraps user functions so exceptions are captured and
+   re-raised on the submitting thread. *)
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stopping) && Queue.is_empty t.queue do
+      Condition.wait t.work_available t.mutex
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = clamp_jobs jobs in
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [||];
+      jobs;
+    }
+  in
+  (* The submitting thread participates in [map], so [jobs - 1] domains
+     give [jobs]-way parallelism (and jobs = 1 spawns nothing: a plain
+     serial map). *)
+  if jobs > 1 then t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let map (type b) t (f : 'a -> b) (xs : 'a array) : b array =
+  if t.stopping then invalid_arg "Parallel.Pool.map: pool is shut down";
+  let n = Array.length xs in
+  if n <= 1 || Array.length t.workers = 0 then Array.map f xs
+  else begin
+    let results : b option array = Array.make n None in
+    (* First error by input index, so the raised exception is
+       deterministic even when several tasks fail. *)
+    let first_error = ref None in
+    let remaining = ref n in
+    let batch_done = Condition.create () in
+    let run_one i =
+      let r =
+        match f xs.(i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      (match r with
+      | Ok v -> results.(i) <- Some v
+      | Error err -> (
+          match !first_error with
+          | Some (j, _) when j < i -> ()
+          | Some _ | None -> first_error := Some (i, err)));
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast batch_done;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (fun () -> run_one i) t.queue
+    done;
+    Condition.broadcast t.work_available;
+    (* Help execute queued tasks while waiting.  The helper may pick up
+       tasks from other (possibly nested) batches; because it never
+       blocks while the queue is non-empty, nested [map] calls from
+       inside tasks cannot deadlock the pool. *)
+    while !remaining > 0 do
+      if Queue.is_empty t.queue then Condition.wait batch_done t.mutex
+      else begin
+        let task = Queue.pop t.queue in
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex
+      end
+    done;
+    Mutex.unlock t.mutex;
+    match !first_error with
+    | Some (_, (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | None -> Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stopping then Mutex.unlock t.mutex
+  else begin
+    t.stopping <- true;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+(* Process-lifetime pools, one per distinct [jobs] value.  Analyses and
+   experiment sweeps grab these instead of spawning fresh domains per
+   call, which both bounds the domain count and keeps pool reuse cheap. *)
+let shared_mutex = Mutex.create ()
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let shared ~jobs =
+  let jobs = clamp_jobs jobs in
+  Mutex.lock shared_mutex;
+  let p =
+    match Hashtbl.find_opt shared_pools jobs with
+    | Some p -> p
+    | None ->
+        let p = create ~jobs in
+        Hashtbl.add shared_pools jobs p;
+        p
+  in
+  Mutex.unlock shared_mutex;
+  p

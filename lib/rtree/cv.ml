@@ -7,24 +7,37 @@ type curve = {
 
 let near_zero_variance = 1e-12
 
-let relative_error_curve ?(folds = 10) ?(kmax = 50) ?(min_leaf = 1) rng (data : Dataset.t) =
+let relative_error_curve ?pool ?(folds = 10) ?(kmax = 50) ?(min_leaf = 1) rng (data : Dataset.t) =
   let n = Dataset.n data in
   let folds = max 2 (min folds n) in
   let variance = Dataset.y_variance data in
-  let e_sums = Array.make kmax 0.0 in
+  (* The fold partition is drawn from [rng] before any fan-out, and each
+     fold is a pure task returning its own partial error sums; the merge
+     below runs in fold order, so the curve is bit-identical whether the
+     folds execute serially or on a pool. *)
   let fold_parts = Stats.Folds.make rng ~n ~k:folds in
+  let fold_sums { Stats.Folds.train; test } =
+    let sums = Array.make kmax 0.0 in
+    let tree = Tree.build ~min_leaf ~max_leaves:kmax (Dataset.restrict data train) in
+    Array.iter
+      (fun i ->
+        let row = data.Dataset.rows.(i) and y = data.Dataset.y.(i) in
+        for ki = 0 to kmax - 1 do
+          let err = y -. Tree.predict_k tree ~k:(ki + 1) row in
+          sums.(ki) <- sums.(ki) +. (err *. err)
+        done)
+      test;
+    sums
+  in
+  let partials =
+    match pool with
+    | Some p -> Parallel.Pool.map p fold_sums fold_parts
+    | None -> Array.map fold_sums fold_parts
+  in
+  let e_sums = Array.make kmax 0.0 in
   Array.iter
-    (fun { Stats.Folds.train; test } ->
-      let tree = Tree.build ~min_leaf ~max_leaves:kmax (Dataset.restrict data train) in
-      Array.iter
-        (fun i ->
-          let row = data.Dataset.rows.(i) and y = data.Dataset.y.(i) in
-          for ki = 0 to kmax - 1 do
-            let err = y -. Tree.predict_k tree ~k:(ki + 1) row in
-            e_sums.(ki) <- e_sums.(ki) +. (err *. err)
-          done)
-        test)
-    fold_parts;
+    (fun part -> Array.iteri (fun ki s -> e_sums.(ki) <- e_sums.(ki) +. s) part)
+    partials;
   let e = Array.map (fun s -> s /. float_of_int n) e_sums in
   let re =
     if variance < near_zero_variance then Array.make kmax 0.0
@@ -48,12 +61,15 @@ let re_final c = c.re.(Array.length c.re - 1)
 
 let kopt c ~tol =
   let final = re_final c in
+  let len = Array.length c.re in
   let rec go i =
-    if i >= Array.length c.re - 1 then Array.length c.re
+    if i >= len then len
     else if c.re.(i) -. final <= tol then i + 1
     else go (i + 1)
   in
-  go 0
+  (* Clamp: if the curve never comes within [tol] of its final value
+     (possible with a negative tol), answer kmax rather than kmax+1. *)
+  min (go 0) len
 
 let re_at c k =
   if k < 1 || k > Array.length c.re then invalid_arg "Cv.re_at: k out of range";

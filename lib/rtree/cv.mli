@@ -15,6 +15,7 @@ type curve = {
 }
 
 val relative_error_curve :
+  ?pool:Parallel.Pool.t ->
   ?folds:int ->
   ?kmax:int ->
   ?min_leaf:int ->
@@ -24,7 +25,12 @@ val relative_error_curve :
 (** Defaults: 10 folds, kmax = 50, min_leaf = 1.  If the data set has fewer
     points than folds, the fold count is reduced (never below 2).  If the
     target variance is ~0, RE is reported as 0 for every k (a single
-    average predicts a constant CPI perfectly; see Section 4.5). *)
+    average predicts a constant CPI perfectly; see Section 4.5).
+
+    When [pool] is given, the per-fold tree builds run on it.  The fold
+    partition is drawn before fan-out and the per-fold partial sums are
+    merged in fold order, so the curve is bit-identical for any [pool]
+    (including none at all) given the same [rng] seed. *)
 
 val training_error_curve : ?kmax:int -> ?min_leaf:int -> Dataset.t -> curve
 (** Resubstitution (no held-out data) baseline: RE is non-increasing in k.
@@ -32,7 +38,8 @@ val training_error_curve : ?kmax:int -> ?min_leaf:int -> Dataset.t -> curve
 
 val kopt : curve -> tol:float -> int
 (** Smallest k whose RE is within [tol] of the curve's final value — the
-    paper takes tol = 0.005 ("within 0.5% of RE_k=inf"). *)
+    paper takes tol = 0.005 ("within 0.5% of RE_k=inf").  Clamped to kmax
+    even when no k qualifies (e.g. a negative [tol]). *)
 
 val re_at : curve -> int -> float
 val re_final : curve -> float

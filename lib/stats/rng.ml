@@ -21,6 +21,24 @@ let split t =
   let s = next_raw t in
   { state = s }
 
+(* SplitMix64 finaliser, used to mix label bytes into a seed. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let split_label seed label =
+  (* FNV-1a over the label bytes, folded into the master seed and mixed.
+     Independent of evaluation order, so parallel workloads derived from
+     the same master seed get the same stream no matter how they are
+     scheduled. *)
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    label;
+  { state = mix64 (Int64.add (Int64.mul (Int64.of_int seed) golden_gamma) !h) }
+
 let bits t = Int64.to_int (Int64.shift_right_logical (next_raw t) 2)
 
 let int t bound =

@@ -20,6 +20,14 @@ val split : t -> t
 (** [split t] derives a new generator from [t], advancing [t].  The two
     streams are statistically independent. *)
 
+val split_label : int -> string -> t
+(** [split_label seed label] derives a generator from a master [seed] and
+    a textual [label] (e.g. a workload name).  The stream depends only on
+    the pair — not on when or where it is created — so concurrent tasks
+    seeded this way produce results independent of scheduling order.
+    Distinct labels give independent streams; the same pair is always
+    reproducible. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit value. *)
 

@@ -1,0 +1,92 @@
+(* Serial-vs-parallel equivalence: with a fixed seed, every analysis
+   output must be bit-identical whether it runs on one domain or many.
+   This is the contract that lets `--jobs N` default to the machine's
+   core count without touching any reproduced number. *)
+
+module Analysis = Fuzzy.Analysis
+module Pool = Parallel.Pool
+
+let tiny ~jobs =
+  {
+    Analysis.quick with
+    Analysis.intervals = 24;
+    samples_per_interval = 20;
+    scale = 0.1;
+    kmax = 12;
+    folds = 5;
+    jobs;
+  }
+
+let check_curve name (a : Rtree.Cv.curve) (b : Rtree.Cv.curve) =
+  Alcotest.(check (array (float 1e-12))) (name ^ ": e identical") a.Rtree.Cv.e b.Rtree.Cv.e;
+  Alcotest.(check (array (float 1e-12))) (name ^ ": re identical") a.Rtree.Cv.re b.Rtree.Cv.re;
+  Alcotest.(check (float 1e-12)) (name ^ ": variance identical") a.Rtree.Cv.variance
+    b.Rtree.Cv.variance
+
+let check_analysis name (a : Analysis.t) (b : Analysis.t) =
+  check_curve name a.Analysis.curve b.Analysis.curve;
+  Alcotest.(check (float 1e-12)) (name ^ ": cpi") a.Analysis.cpi b.Analysis.cpi;
+  Alcotest.(check (float 1e-12)) (name ^ ": cpi variance") a.Analysis.cpi_variance
+    b.Analysis.cpi_variance;
+  Alcotest.(check int) (name ^ ": kopt") a.Analysis.kopt b.Analysis.kopt;
+  Alcotest.(check (float 1e-12)) (name ^ ": re_kopt") a.Analysis.re_kopt b.Analysis.re_kopt
+
+(* Analysis.analyze (not the cache) so jobs=1 and jobs=4 really recompute. *)
+let test_analyze_serial_vs_parallel name () =
+  let serial = Analysis.analyze (tiny ~jobs:1) name in
+  let parallel = Analysis.analyze (tiny ~jobs:4) name in
+  check_analysis name serial parallel
+
+let test_analyze_parallel_deterministic () =
+  let a = Analysis.analyze (tiny ~jobs:4) "gzip" in
+  let b = Analysis.analyze (tiny ~jobs:4) "gzip" in
+  check_analysis "gzip twice at jobs=4" a b
+
+let synthetic_dataset () =
+  let rng = Stats.Rng.create 23 in
+  let rows =
+    Array.init 90 (fun i ->
+        Stats.Sparse_vec.of_assoc
+          [ (i mod 7, 5.0 +. Stats.Rng.float rng 3.0); (7 + (i mod 3), Stats.Rng.float rng 2.0) ])
+  in
+  let y = Array.init 90 (fun i -> float_of_int (i mod 7) +. Stats.Rng.float rng 0.2) in
+  Rtree.Dataset.make ~rows ~y
+
+let test_cv_serial_vs_parallel () =
+  let ds = synthetic_dataset () in
+  let curve_with pool = Rtree.Cv.relative_error_curve ?pool ~folds:6 ~kmax:15 (Stats.Rng.create 41) ds in
+  let serial = curve_with None in
+  let pooled = curve_with (Some (Pool.shared ~jobs:4)) in
+  check_curve "cv synthetic" serial pooled;
+  (* And a jobs=1 pool is the same code path as no pool at all. *)
+  check_curve "cv jobs=1 pool" serial (curve_with (Some (Pool.shared ~jobs:1)))
+
+let test_analyze_many_order_independent () =
+  (* analyze_many returns in input order and matches one-at-a-time
+     analyses, whatever the pool schedule was. *)
+  let config = tiny ~jobs:4 in
+  let names = [ "gzip"; "odb_h_q13" ] in
+  Fuzzy.Experiments.clear_cache ();
+  let many = Fuzzy.Experiments.analyze_many config names in
+  Fuzzy.Experiments.clear_cache ();
+  let solo = List.map (Analysis.analyze { config with Analysis.jobs = 1 }) names in
+  List.iter2 (fun name (m, s) -> check_analysis ("analyze_many " ^ name) m s) names
+    (List.combine many solo);
+  Fuzzy.Experiments.clear_cache ()
+
+let () =
+  Alcotest.run "equivalence"
+    [
+      ( "serial-vs-parallel",
+        [
+          Alcotest.test_case "gzip analyze jobs=1 vs jobs=4" `Quick
+            (test_analyze_serial_vs_parallel "gzip");
+          Alcotest.test_case "odb_h_q13 analyze jobs=1 vs jobs=4" `Quick
+            (test_analyze_serial_vs_parallel "odb_h_q13");
+          Alcotest.test_case "jobs=4 deterministic across runs" `Quick
+            test_analyze_parallel_deterministic;
+          Alcotest.test_case "cv curve pool vs no pool" `Quick test_cv_serial_vs_parallel;
+          Alcotest.test_case "analyze_many matches serial analyses" `Quick
+            test_analyze_many_order_independent;
+        ] );
+    ]

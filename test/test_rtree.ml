@@ -211,6 +211,16 @@ let test_kopt_rule () =
   Alcotest.(check int) "tight tol" 4 (Cv.kopt curve ~tol:0.005);
   Alcotest.(check int) "k at min" 4 (Cv.k_at_min curve)
 
+let test_kopt_clamped_to_kmax () =
+  (* Regression: a strictly decreasing curve that never comes within tol
+     of its final value must answer kmax, never kmax+1. *)
+  let re = [| 5.0; 4.0; 3.0; 2.0; 1.0 |] in
+  let curve = { Cv.k_values = [| 1; 2; 3; 4; 5 |]; e = re; re; variance = 1.0 } in
+  Alcotest.(check int) "negative tol clamps to kmax" 5 (Cv.kopt curve ~tol:(-1.0));
+  Alcotest.(check int) "-inf tol clamps to kmax" 5 (Cv.kopt curve ~tol:neg_infinity);
+  Alcotest.(check int) "strictly decreasing, tol 0" 5 (Cv.kopt curve ~tol:0.0);
+  Alcotest.(check int) "loose tol picks first k within" 3 (Cv.kopt curve ~tol:2.0)
+
 let test_training_error_curve_monotone () =
   let ds = step_dataset 60 in
   let curve = Cv.training_error_curve ~kmax:10 ds in
@@ -265,6 +275,7 @@ let () =
           Alcotest.test_case "RE_1 ~ 1" `Quick test_cv_re_one_at_k1;
           Alcotest.test_case "zero variance" `Quick test_cv_zero_variance;
           Alcotest.test_case "kopt rule" `Quick test_kopt_rule;
+          Alcotest.test_case "kopt clamped to kmax" `Quick test_kopt_clamped_to_kmax;
           Alcotest.test_case "training curve monotone" `Quick test_training_error_curve_monotone;
         ] );
     ]

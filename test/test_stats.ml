@@ -328,6 +328,71 @@ let test_folds_rejects () =
   Alcotest.check_raises "k too small" (Invalid_argument "Folds.make: k must be >= 2")
     (fun () -> ignore (Stats.Folds.make rng ~n:10 ~k:1))
 
+(* QCheck: the fold partition invariants the parallel CV relies on. *)
+
+let folds_gen =
+  (* k in [2,12], n >= k. *)
+  QCheck2.Gen.(
+    triple (int_range 2 12) (int_range 0 80) (int_range 0 1_000_000)
+    |> map (fun (k, extra, seed) -> (k + extra, k, seed)))
+
+let prop_folds_partition_exact =
+  QCheck2.Test.make ~name:"folds partition 0..n-1 exactly (disjoint, covering)" ~count:200
+    folds_gen (fun (n, k, seed) ->
+      let folds = Stats.Folds.make (Rng.create seed) ~n ~k in
+      let seen = Array.make n 0 in
+      Array.iter (fun { Stats.Folds.test; _ } -> Array.iter (fun i -> seen.(i) <- seen.(i) + 1) test) folds;
+      let complement_ok =
+        Array.for_all
+          (fun { Stats.Folds.train; test } ->
+            (* train is exactly the complement of test. *)
+            let in_test = Array.make n false in
+            Array.iter (fun i -> in_test.(i) <- true) test;
+            Array.length train + Array.length test = n
+            && Array.for_all (fun i -> not in_test.(i)) train)
+          folds
+      in
+      complement_ok && Array.for_all (fun c -> c = 1) seen)
+
+let prop_folds_nonempty =
+  QCheck2.Test.make ~name:"every fold non-empty for n >= k" ~count:200 folds_gen
+    (fun (n, k, seed) ->
+      let folds = Stats.Folds.make (Rng.create seed) ~n ~k in
+      Array.length folds = k
+      && Array.for_all (fun { Stats.Folds.test; _ } -> Array.length test > 0) folds)
+
+(* ----------------------------- split_label -------------------------- *)
+
+let stream_prefix rng len = Array.init len (fun _ -> Rng.int64 rng)
+
+let test_split_label_reproducible () =
+  let a = Rng.split_label 42 "odb_c" and b = Rng.split_label 42 "odb_c" in
+  Alcotest.(check bool) "same (seed, label) -> same stream" true
+    (stream_prefix a 64 = stream_prefix b 64)
+
+let test_split_label_distinct_labels () =
+  let a = Rng.split_label 42 "odb_c" and b = Rng.split_label 42 "sjas" in
+  Alcotest.(check bool) "distinct labels -> distinct streams" true
+    (stream_prefix a 16 <> stream_prefix b 16)
+
+let test_split_label_distinct_seeds () =
+  let a = Rng.split_label 1 "gzip" and b = Rng.split_label 2 "gzip" in
+  Alcotest.(check bool) "distinct seeds -> distinct streams" true
+    (stream_prefix a 16 <> stream_prefix b 16)
+
+let label_gen =
+  QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 16))
+
+let prop_split_label_streams =
+  QCheck2.Test.make ~name:"split_label: reproducible per label, distinct across labels"
+    ~count:200
+    QCheck2.Gen.(triple (int_range 0 10_000) label_gen label_gen)
+    (fun (seed, l1, l2) ->
+      let s1 = stream_prefix (Rng.split_label seed l1) 8 in
+      let s1' = stream_prefix (Rng.split_label seed l1) 8 in
+      let s2 = stream_prefix (Rng.split_label seed l2) 8 in
+      s1 = s1' && (l1 = l2 || s1 <> s2))
+
 (* ------------------------------- Series ---------------------------- *)
 
 let test_moving_average_constant () =
@@ -444,11 +509,15 @@ let () =
           Alcotest.test_case "mode" `Quick test_histogram_mode;
         ] );
       ( "folds",
-        [
-          Alcotest.test_case "partition covers exactly" `Quick test_folds_partition;
-          Alcotest.test_case "balanced sizes" `Quick test_folds_sizes_balanced;
-          Alcotest.test_case "rejects k<2" `Quick test_folds_rejects;
-        ] );
+        Alcotest.test_case "partition covers exactly" `Quick test_folds_partition
+        :: Alcotest.test_case "balanced sizes" `Quick test_folds_sizes_balanced
+        :: Alcotest.test_case "rejects k<2" `Quick test_folds_rejects
+        :: qcheck [ prop_folds_partition_exact; prop_folds_nonempty ] );
+      ( "split_label",
+        Alcotest.test_case "reproducible" `Quick test_split_label_reproducible
+        :: Alcotest.test_case "distinct labels" `Quick test_split_label_distinct_labels
+        :: Alcotest.test_case "distinct seeds" `Quick test_split_label_distinct_seeds
+        :: qcheck [ prop_split_label_streams ] );
       ( "series",
         [
           Alcotest.test_case "moving average of constant" `Quick test_moving_average_constant;
