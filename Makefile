@@ -2,14 +2,19 @@
 
 .PHONY: build check test bench clean
 
+# @all also builds the examples and benches, so they cannot bitrot.
 build:
-	dune build
+	dune build @all
 
 # The determinism gate: the whole suite must pass both fully serial and
-# on a 4-domain pool (the equivalence tests compare the two bit-for-bit).
+# on a 4-domain pool (the equivalence tests compare the two bit-for-bit),
+# and the streaming CLI must print byte-identical traces at both.
 check: build
 	JOBS=1 dune runtest --force
 	JOBS=4 dune runtest --force
+	dune exec bin/repro.exe -- stream odb_h_q13 mcf --quick --jobs 1 > _build/stream-j1.out
+	dune exec bin/repro.exe -- stream odb_h_q13 mcf --quick --jobs 4 > _build/stream-j4.out
+	cmp _build/stream-j1.out _build/stream-j4.out
 
 test:
 	dune runtest

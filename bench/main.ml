@@ -104,6 +104,16 @@ let synthetic_eipv_dataset ~rows ~features ~nnz =
 
 let quick_cfg = Fuzzy.Analysis.quick
 
+(* Online-ingest configuration: serial pool and an unreachable warmup so
+   the measured region is pure ingestion (no refit CV inside the loop —
+   refit cost is measured by its own kernel). *)
+let online_ingest_config =
+  {
+    Online.Pipeline.quick with
+    Online.Pipeline.analysis = { quick_cfg with Fuzzy.Analysis.jobs = 1 };
+    warmup_intervals = 1_000_000;
+  }
+
 (* Pre-computed inputs shared by the micro-benchmarks (excluded from the
    measured region). *)
 let prepared =
@@ -172,6 +182,29 @@ let bench_tests () =
           ignore (Rtree.Cv.training_error_curve ~kmax:8 ds));
     ]
   in
+  let online =
+    let samples = q13.Fuzzy.Analysis.run.Sampling.Driver.samples in
+    let intervals = q13.Fuzzy.Analysis.eipv.Sampling.Eipv.intervals in
+    let pool = Parallel.Pool.shared ~jobs:1 in
+    [
+      mk "online/ingest_1k_samples" (fun () ->
+          let t = Online.Pipeline.create ~name:"bench" online_ingest_config in
+          for i = 0 to 999 do
+            ignore (Online.Pipeline.feed t samples.(i mod Array.length samples))
+          done);
+      mk "online/refit_48_intervals" (fun () ->
+          let r =
+            Online.Refit.create ~seed:1 ~folds:5 ~kmax:12 ~kopt_tol:0.005 ~min_intervals:2
+              ~spacing:1 ~latency:1 ~pool
+          in
+          ignore
+            (Online.Refit.maybe_trigger r
+               ~interval:(Array.length intervals - 1)
+               ~drift:true
+               ~window:(fun () -> intervals));
+          ignore (Online.Refit.drain r));
+    ]
+  in
   let substrate =
     [
       mk "substrate/cache_access_4k" (fun () ->
@@ -196,6 +229,7 @@ let bench_tests () =
     [
       Test.make_grouped ~name:"experiments" experiment_kernels;
       Test.make_grouped ~name:"ablations" ablations;
+      Test.make_grouped ~name:"online" online;
       Test.make_grouped ~name:"substrate" substrate;
     ]
 
@@ -218,6 +252,42 @@ let run_benchmarks () =
   let rows = List.sort compare !rows in
   print_endline "Bechamel micro-benchmarks (monotonic clock, ns/run):";
   List.iter (fun (name, ns) -> Printf.printf "  %-50s %14.0f ns/run\n" name ns) rows
+
+(* Wall-clock figures for the streaming subsystem in its natural units:
+   sustained ingest rate and the latency of one drift-triggered refit. *)
+let run_online_report () =
+  let _, _, q13 = Lazy.force prepared in
+  let samples = q13.Fuzzy.Analysis.run.Sampling.Driver.samples in
+  let t = Online.Pipeline.create ~name:"bench" online_ingest_config in
+  let w0 = Unix.gettimeofday () in
+  let fed = ref 0 in
+  while Unix.gettimeofday () -. w0 < 0.5 do
+    Array.iter (fun s -> ignore (Online.Pipeline.feed t s)) samples;
+    fed := !fed + Array.length samples
+  done;
+  let dt = Unix.gettimeofday () -. w0 in
+  Printf.printf "online ingest throughput: %.0f samples/sec (%d samples in %.2fs)\n"
+    (float_of_int !fed /. dt)
+    !fed dt;
+  let intervals = q13.Fuzzy.Analysis.eipv.Sampling.Eipv.intervals in
+  let pool = Parallel.Pool.shared ~jobs:1 in
+  let reps = 5 in
+  let r0 = Unix.gettimeofday () in
+  for i = 0 to reps - 1 do
+    let r =
+      Online.Refit.create ~seed:i ~folds:5 ~kmax:12 ~kopt_tol:0.005 ~min_intervals:2
+        ~spacing:1 ~latency:1 ~pool
+    in
+    ignore
+      (Online.Refit.maybe_trigger r
+         ~interval:(Array.length intervals - 1)
+         ~drift:true
+         ~window:(fun () -> intervals));
+    ignore (Online.Refit.drain r)
+  done;
+  Printf.printf "online refit latency: %.1f ms/refit (%d intervals, folds=5, kmax=12)\n"
+    ((Unix.gettimeofday () -. r0) /. float_of_int reps *. 1000.0)
+    (Array.length intervals)
 
 (* -------------------------------- main ------------------------------ *)
 
@@ -242,5 +312,6 @@ let () =
   if not experiments_only then begin
     let w0 = Unix.gettimeofday () in
     run_benchmarks ();
+    run_online_report ();
     Printf.printf "[benchmark phase: %.1fs wall]\n%!" (Unix.gettimeofday () -. w0)
   end

@@ -137,6 +137,67 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Analyze individual workloads end to end.")
     Term.(const run $ config_term $ names)
 
+let stream_cmd =
+  let names =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"WORKLOAD" ~doc:"Catalog workload names.")
+  in
+  let reservoir =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "reservoir" ]
+          ~doc:
+            "Training-window capacity in intervals (default 256).  Runs no longer than this \
+             finalize on the full history and match the offline analysis exactly.")
+  in
+  let window =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~doc:"Trailing-window width for the windowed CPI variance.")
+  in
+  let no_trace =
+    Arg.(
+      value & flag
+      & info [ "no-trace" ] ~doc:"Print only the final verdict, not the per-interval trace.")
+  in
+  let run config names reservoir window no_trace =
+    let ocfg = { Online.Pipeline.default with Online.Pipeline.analysis = config } in
+    let ocfg =
+      match reservoir with
+      | Some r when r >= 1 -> { ocfg with Online.Pipeline.reservoir = r }
+      | Some _ | None -> ocfg
+    in
+    let ocfg =
+      match window with
+      | Some w when w >= 2 -> { ocfg with Online.Pipeline.window = w }
+      | Some _ | None -> ocfg
+    in
+    List.iter
+      (fun name ->
+        match Workload.Catalog.find name with
+        | exception Not_found ->
+            Printf.eprintf "unknown workload %S; try `repro workloads`\n" name;
+            exit 1
+        | _ ->
+            let on_verdict v =
+              if not no_trace then Format.printf "%a@." Online.Classifier.pp_verdict v
+            in
+            let final = Online.Pipeline.run ~on_verdict ocfg name in
+            Format.printf "%a@." Online.Pipeline.pp_final final;
+            Printf.printf "recommended sampling technique: %s\n"
+              (Fuzzy.Techniques.to_string
+                 (Fuzzy.Techniques.recommend final.Online.Pipeline.quadrant)))
+      names
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Stream workloads through the online-analysis pipeline: incremental EIPVs, \
+          drift-triggered refits and a live quadrant verdict per interval.  Output is \
+          bit-identical for every --jobs value.")
+    Term.(const run $ config_term $ names $ reservoir $ window $ no_trace)
+
 let workloads_cmd =
   let run () =
     Array.iter
@@ -160,4 +221,6 @@ let () =
         "Reproduce 'The Fuzzy Correlation between Code and Performance Predictability' \
          (MICRO-37, 2004) on simulated hardware."
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; analyze_cmd; workloads_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; all_cmd; analyze_cmd; stream_cmd; workloads_cmd ]))

@@ -1,0 +1,63 @@
+(* Watch a workload's quadrant verdict form in real time.
+
+   The offline pipeline answers "was this run predictable?" after the
+   fact; [Online.Pipeline] answers it while the run is still going.  This
+   example builds a two-act workload with the phase-machine DSL — a long
+   cache-resident act followed by an abrupt switch to a memory-bound act
+   with different code — streams it through the online pipeline, and
+   prints the verdict timeline: watch the confidence tighten, the drift
+   detectors fire at the act change, and the refits re-estimate RE_k.
+
+   Run with:  dune exec examples/online_monitor.exe *)
+
+module Synth = Workload.Synth
+
+let build_model ~seed =
+  let code = Workload.Code_map.create () in
+  let space = Dbengine.Addr_space.create () in
+  let rng = Stats.Rng.create seed in
+  let phases =
+    [|
+      (* Act one: small working set, branchy, low CPI variance. *)
+      Synth.phase ~label:"steady" ~region:7100 ~n_eips:200 ~work_bytes:(128 * 1024)
+        ~pattern:Synth.Random ~branches_per_kinstr:150.0 ~branch_entropy:0.1
+        ~duration_quanta:(1200, 1400) ();
+      (* Act two: different code region, streaming over a large array —
+         both the working-set signature and the CPI level shift. *)
+      Synth.phase ~label:"scan" ~region:7200 ~n_eips:80 ~work_bytes:(16 * 1024 * 1024)
+        ~pattern:Synth.Sequential ~refs_per_kinstr:400.0 ~branch_entropy:0.02
+        ~duration_quanta:(1200, 1400) ();
+    |]
+  in
+  let thread = Synth.thread rng ~code ~space ~phases ~tid:0 in
+  Workload.Model.make ~name:"two_act" ~code ~threads:[| thread |] ()
+
+let () =
+  let model = build_model ~seed:2026 in
+  let config =
+    {
+      Online.Pipeline.default with
+      Online.Pipeline.analysis =
+        {
+          Fuzzy.Analysis.quick with
+          Fuzzy.Analysis.intervals = 64;
+          samples_per_interval = 50;
+        };
+    }
+  in
+  Printf.printf "Streaming workload '%s' through Online.Pipeline...\n\n%!"
+    model.Workload.Model.name;
+  let final =
+    Online.Pipeline.run_model
+      ~on_verdict:(fun v ->
+        (* Print every fourth verdict, plus every eventful one, so the
+           timeline stays readable. *)
+        if
+          v.Online.Classifier.interval mod 4 = 0
+          || v.Online.Classifier.drift || v.Online.Classifier.refit
+        then Format.printf "%a@." Online.Classifier.pp_verdict v)
+      config model
+  in
+  Format.printf "@.%a@." Online.Pipeline.pp_final final;
+  Printf.printf "recommended sampling technique: %s\n"
+    (Fuzzy.Techniques.to_string (Fuzzy.Techniques.recommend final.Online.Pipeline.quadrant))

@@ -7,34 +7,40 @@ let hash_int x =
   let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27)) 0x94D049BB133111EBL in
   Int64.to_int (Int64.logxor x (Int64.shift_right_logical x 31)) land max_int
 
+(* A sampled EIPV's singleton entries are sampling noise, not working
+   set: two intervals of the same phase share hot EIPs but almost never
+   the same tail.  Dhodapkar & Smith hashed the full working set; the
+   sampled analogue is the set of repeatedly-hit EIPs. *)
+let interval_signature ?(bits = 1024) ~samples_per_interval (iv : Sampling.Eipv.interval) =
+  if bits <= 0 then invalid_arg "Phase_detect.interval_signature: bits must be positive";
+  let min_count = Float.max 2.0 (float_of_int samples_per_interval /. 32.0) in
+  let s = Bytes.make bits '\000' in
+  Stats.Sparse_vec.iter
+    (fun f c -> if c >= min_count then Bytes.set s (hash_int f mod bits) '\001')
+    iv.Sampling.Eipv.eipv;
+  s
+
+let signature_distance a b =
+  let bits = Bytes.length a in
+  if bits <> Bytes.length b then
+    invalid_arg "Phase_detect.signature_distance: signature widths differ";
+  let diff = ref 0 and union = ref 0 in
+  for j = 0 to bits - 1 do
+    let x = Bytes.get a j = '\001' and y = Bytes.get b j = '\001' in
+    if x || y then incr union;
+    if x <> y then incr diff
+  done;
+  if !union = 0 then 0.0 else float_of_int !diff /. float_of_int !union
+
 let working_set_signature ?(bits = 1024) ?(threshold = 0.5) (eipv : Sampling.Eipv.t) =
-  if bits <= 0 then invalid_arg "Phase_detect.working_set_signature: bits must be positive";
-  (* A sampled EIPV's singleton entries are sampling noise, not working
-     set: two intervals of the same phase share hot EIPs but almost never
-     the same tail.  Dhodapkar & Smith hashed the full working set; the
-     sampled analogue is the set of repeatedly-hit EIPs. *)
-  let min_count =
-    Float.max 2.0 (float_of_int eipv.Sampling.Eipv.samples_per_interval /. 32.0)
+  let sigs =
+    Array.map
+      (interval_signature ~bits ~samples_per_interval:eipv.Sampling.Eipv.samples_per_interval)
+      eipv.Sampling.Eipv.intervals
   in
-  let signature iv =
-    let s = Bytes.make bits '\000' in
-    Stats.Sparse_vec.iter
-      (fun f c -> if c >= min_count then Bytes.set s (hash_int f mod bits) '\001')
-      iv.Sampling.Eipv.eipv;
-    s
-  in
-  let sigs = Array.map signature eipv.Sampling.Eipv.intervals in
   Array.init
     (Array.length sigs - 1)
-    (fun i ->
-      let a = sigs.(i) and b = sigs.(i + 1) in
-      let diff = ref 0 and union = ref 0 in
-      for j = 0 to bits - 1 do
-        let x = Bytes.get a j = '\001' and y = Bytes.get b j = '\001' in
-        if x || y then incr union;
-        if x <> y then incr diff
-      done;
-      !union > 0 && float_of_int !diff /. float_of_int !union > threshold)
+    (fun i -> signature_distance sigs.(i) sigs.(i + 1) > threshold)
 
 let eipv_cosine ?(threshold = 0.5) (eipv : Sampling.Eipv.t) =
   let rows = Sampling.Eipv.points eipv in

@@ -21,9 +21,24 @@ type boundaries = bool array
 (** [b.(i)] is [true] when a phase change is detected between interval i
     and i+1; length = intervals - 1. *)
 
+val interval_signature :
+  ?bits:int -> samples_per_interval:int -> Sampling.Eipv.interval -> Bytes.t
+(** Hashed working-set signature of one interval (default 1024 bits):
+    EIPs hit at least [max 2 (samples_per_interval / 32)] times are
+    hashed into a bit vector.  Exposed separately so the streaming drift
+    detector ([Online.Drift]) can compare consecutive signatures
+    incrementally, one sealed interval at a time, with the exact batch
+    semantics of {!working_set_signature}. *)
+
+val signature_distance : Bytes.t -> Bytes.t -> float
+(** Relative Hamming distance |aΔb| / |a∪b| between two signatures of
+    equal width; 0 when both are empty. *)
+
 val working_set_signature :
   ?bits:int -> ?threshold:float -> Sampling.Eipv.t -> boundaries
-(** Default 1024-bit signatures, relative-distance threshold 0.5. *)
+(** Default 1024-bit signatures, relative-distance threshold 0.5.
+    Equivalent to thresholding {!signature_distance} on consecutive
+    {!interval_signature}s. *)
 
 val cpi_delta : ?threshold:float -> Sampling.Eipv.t -> boundaries
 (** Default threshold 0.1 (10% relative CPI change). *)

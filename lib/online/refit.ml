@@ -1,0 +1,119 @@
+type outcome = {
+  trigger_interval : int;
+  applied_interval : int;
+  trained_on : int;
+  curve : Rtree.Cv.curve;
+  kopt : int;
+  re_kopt : float;
+}
+
+type pending = {
+  triggered_at : int;
+  rows : int;
+  future : (Rtree.Cv.curve * int * float) Parallel.Pool.future;
+}
+
+type t = {
+  seed : int;
+  folds : int;
+  kmax : int;
+  kopt_tol : float;
+  min_intervals : int;
+  spacing : int;
+  latency : int;
+  pool : Parallel.Pool.t;
+  mutable pending : pending option;
+  mutable last_trigger : int;  (* sealed-interval index, -max_int before any *)
+  mutable fits : int;  (* triggers so far, also the per-fit RNG label *)
+  mutable completed : int;
+}
+
+let create ~seed ~folds ~kmax ~kopt_tol ~min_intervals ~spacing ~latency ~pool =
+  if min_intervals < 2 then invalid_arg "Refit.create: min_intervals must be at least 2";
+  if spacing < 1 then invalid_arg "Refit.create: spacing must be at least 1";
+  if latency < 1 then invalid_arg "Refit.create: latency must be at least 1";
+  {
+    seed;
+    folds;
+    kmax;
+    kopt_tol;
+    min_intervals;
+    spacing;
+    latency;
+    pool;
+    pending = None;
+    (* Far enough in the "past" that the spacing constraint never blocks
+       the first trigger (and cannot overflow [interval - last_trigger]). *)
+    last_trigger = -spacing - 1;
+    fits = 0;
+    completed = 0;
+  }
+
+let fit t ~label (window : Sampling.Eipv.interval array) =
+  let rows = Array.map (fun iv -> iv.Sampling.Eipv.eipv) window in
+  let y = Array.map (fun iv -> iv.Sampling.Eipv.cpi) window in
+  let ds = Rtree.Dataset.make ~rows ~y in
+  let rng = Stats.Rng.split_label t.seed label in
+  let curve =
+    Rtree.Cv.relative_error_curve ~pool:t.pool ~folds:t.folds ~kmax:t.kmax rng ds
+  in
+  let kopt = Rtree.Cv.kopt curve ~tol:t.kopt_tol in
+  (curve, kopt, Rtree.Cv.re_at curve kopt)
+
+let maybe_trigger t ~interval ~drift ~window =
+  let n = interval + 1 in
+  let due = drift || t.fits = 0 in
+  if
+    t.pending <> None || n < t.min_intervals || (not due)
+    || interval - t.last_trigger < t.spacing
+  then false
+  else begin
+    (* The snapshot is taken here, before ingestion continues, so the
+       training set is a pure function of the trigger point. *)
+    let w = window () in
+    if Array.length w < 2 then false
+    else begin
+      let label = Printf.sprintf "online-refit-%d" t.fits in
+      t.fits <- t.fits + 1;
+      t.last_trigger <- interval;
+      let future = Parallel.Pool.submit t.pool (fun () -> fit t ~label w) in
+      t.pending <- Some { triggered_at = interval; rows = Array.length w; future };
+      true
+    end
+  end
+
+let poll t ~interval =
+  match t.pending with
+  | Some p when interval >= p.triggered_at + t.latency ->
+      let curve, kopt, re_kopt = Parallel.Pool.await t.pool p.future in
+      t.pending <- None;
+      t.completed <- t.completed + 1;
+      Some
+        {
+          trigger_interval = p.triggered_at;
+          applied_interval = interval;
+          trained_on = p.rows;
+          curve;
+          kopt;
+          re_kopt;
+        }
+  | Some _ | None -> None
+
+let drain t =
+  match t.pending with
+  | None -> None
+  | Some p ->
+      let curve, kopt, re_kopt = Parallel.Pool.await t.pool p.future in
+      t.pending <- None;
+      t.completed <- t.completed + 1;
+      Some
+        {
+          trigger_interval = p.triggered_at;
+          applied_interval = p.triggered_at + t.latency;
+          trained_on = p.rows;
+          curve;
+          kopt;
+          re_kopt;
+        }
+
+let count t = t.completed

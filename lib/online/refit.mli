@@ -1,0 +1,61 @@
+(** The refit policy: retrain the CART tree on the reservoir window and
+    republish RE_k, overlapping the training with ingestion.
+
+    When a drift verdict (or the warmup deadline) arrives at sealed
+    interval i, the policy snapshots the reservoir, submits the
+    cross-validated curve computation to the {!Parallel.Pool} as a
+    future, and keeps ingesting; the result is {e applied} exactly at
+    interval [i + latency] (awaiting the future if it has not finished).
+    Publication points are therefore a deterministic function of the
+    sample stream alone: on a [jobs = 1] pool the fit simply runs
+    synchronously at trigger time, and the published trace is
+    bit-identical for every [--jobs] value.
+
+    Each refit r draws its CV fold partition from
+    [Stats.Rng.split_label seed "online-refit-r"] — a stream that depends
+    only on (seed, r), never on scheduling. *)
+
+type outcome = {
+  trigger_interval : int;  (** sealed interval that triggered the fit *)
+  applied_interval : int;  (** sealed interval whose verdict first carries it *)
+  trained_on : int;  (** reservoir occupancy the tree was trained on *)
+  curve : Rtree.Cv.curve;
+  kopt : int;
+  re_kopt : float;
+}
+
+type t
+
+val create :
+  seed:int ->
+  folds:int ->
+  kmax:int ->
+  kopt_tol:float ->
+  min_intervals:int ->
+  spacing:int ->
+  latency:int ->
+  pool:Parallel.Pool.t ->
+  t
+(** [min_intervals]: sealed intervals required before the first (warmup)
+    fit; [spacing]: minimum sealed intervals between consecutive
+    triggers; [latency]: intervals between trigger and publication
+    (>= 1 overlaps training with ingestion). *)
+
+val maybe_trigger :
+  t -> interval:int -> drift:bool -> window:(unit -> Sampling.Eipv.interval array) -> bool
+(** Called after each sealed interval; [window] produces the current
+    reservoir snapshot (forced only when a fit is actually started).
+    Starts a fit if drift was flagged (or no fit exists yet), the warmup
+    and spacing constraints hold, and no fit is in flight.  Returns
+    [true] when a fit was started. *)
+
+val poll : t -> interval:int -> outcome option
+(** Called after each sealed interval {e before} {!maybe_trigger}:
+    returns the in-flight fit's outcome once its publication interval is
+    reached (blocking on the future if needed), [None] otherwise. *)
+
+val drain : t -> outcome option
+(** Await and return any still-in-flight fit (end of stream). *)
+
+val count : t -> int
+(** Completed (published or drained) refits. *)

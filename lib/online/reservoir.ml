@@ -1,0 +1,30 @@
+type 'a t = {
+  slots : 'a option array;
+  rng : Stats.Rng.t;
+  mutable seen : int;
+}
+
+let create ~capacity ~rng =
+  if capacity <= 0 then invalid_arg "Reservoir.create: capacity must be positive";
+  { slots = Array.make capacity None; rng; seen = 0 }
+
+let capacity t = Array.length t.slots
+
+let add t x =
+  t.seen <- t.seen + 1;
+  let cap = capacity t in
+  if t.seen <= cap then t.slots.(t.seen - 1) <- Some x
+  else begin
+    (* Draw unconditionally so the RNG stream — and hence every
+       downstream number — depends only on how many items were offered,
+       not on which replacements happened to hit. *)
+    let j = Stats.Rng.int t.rng t.seen in
+    if j < cap then t.slots.(j) <- Some x
+  end
+
+let seen t = t.seen
+let occupancy t = min t.seen (capacity t)
+
+let contents t =
+  Array.init (occupancy t) (fun i ->
+      match t.slots.(i) with Some x -> x | None -> assert false)

@@ -1,0 +1,31 @@
+(** Deterministic reservoir sampling (Vitter's Algorithm R) over sealed
+    intervals — the bounded training window for refits.
+
+    The first [capacity] items land in arrival order; from item
+    [capacity + 1] on, item i replaces a uniformly drawn slot with
+    probability capacity/i, so at any point the reservoir is a uniform
+    sample of everything seen.  All randomness comes from the caller's
+    {!Stats.Rng.t}, so contents are a pure function of (seed, stream) —
+    never of scheduling — which keeps [repro stream] bit-identical across
+    [--jobs] values.
+
+    While [seen <= capacity] the reservoir holds {e every} item in
+    arrival order; a refit over it then trains on the full history, which
+    is what makes the final online verdict coincide exactly with the
+    offline analysis when the reservoir is sized to the run. *)
+
+type 'a t
+
+val create : capacity:int -> rng:Stats.Rng.t -> 'a t
+val add : 'a t -> 'a -> unit
+val seen : 'a t -> int
+(** Items ever offered. *)
+
+val occupancy : 'a t -> int
+(** Items currently held: [min seen capacity]. *)
+
+val capacity : 'a t -> int
+
+val contents : 'a t -> 'a array
+(** Snapshot in slot order (= arrival order while [seen <= capacity]).
+    The returned array is fresh; later [add]s do not mutate it. *)

@@ -1,0 +1,55 @@
+(* The Welford recurrence here is written out rather than delegated to
+   Stats.Describe.Acc so the test-suite cross-check against Describe is a
+   real two-implementation comparison, not a tautology.  The update order
+   matches Describe.Acc's exactly, which makes the agreement bit-level
+   for identical input order. *)
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  ring : float array;
+  mutable filled : int;  (* values currently in the ring, <= window *)
+  mutable head : int;  (* next write position *)
+}
+
+let create ?(window = 16) () =
+  if window < 2 then invalid_arg "Sketch.create: window must be at least 2";
+  { n = 0; mean = 0.0; m2 = 0.0; ring = Array.make window 0.0; filled = 0; head = 0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  let w = Array.length t.ring in
+  t.ring.(t.head) <- x;
+  t.head <- (t.head + 1) mod w;
+  if t.filled < w then t.filled <- t.filled + 1
+
+let n t = t.n
+let mean t = t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+
+let window_fill t = t.filled
+let window_size t = Array.length t.ring
+
+(* Two-pass over the (tiny) ring: exact, and queried only once per sealed
+   interval so the O(window) cost is irrelevant. *)
+let window_variance t =
+  if t.filled < 2 then 0.0
+  else begin
+    let w = Array.length t.ring in
+    let start = (t.head - t.filled + w) mod w in
+    let sum = ref 0.0 in
+    for k = 0 to t.filled - 1 do
+      sum := !sum +. t.ring.((start + k) mod w)
+    done;
+    let m = !sum /. float_of_int t.filled in
+    let acc = ref 0.0 in
+    for k = 0 to t.filled - 1 do
+      let d = t.ring.((start + k) mod w) -. m in
+      acc := !acc +. (d *. d)
+    done;
+    !acc /. float_of_int t.filled
+  end

@@ -116,6 +116,59 @@ let map (type b) t (f : 'a -> b) (xs : 'a array) : b array =
     | None -> Array.map (function Some v -> v | None -> assert false) results
   end
 
+(* A future's state is guarded by the pool mutex; each future carries its
+   own condition so [await] wakes only when *its* result lands. *)
+type 'a future = {
+  mutable result : ('a, exn * Printexc.raw_backtrace) result option;
+  completed : Condition.t;
+}
+
+let submit (type a) t (f : unit -> a) : a future =
+  if t.stopping then invalid_arg "Parallel.Pool.submit: pool is shut down";
+  let fut = { result = None; completed = Condition.create () } in
+  let run () =
+    match f () with
+    | v -> Ok v
+    | exception e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  if Array.length t.workers = 0 then fut.result <- Some (run ())
+  else begin
+    Mutex.lock t.mutex;
+    Queue.push
+      (fun () ->
+        let r = run () in
+        Mutex.lock t.mutex;
+        fut.result <- Some r;
+        Condition.broadcast fut.completed;
+        Mutex.unlock t.mutex)
+      t.queue;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex
+  end;
+  fut
+
+let await t fut =
+  let finish = function
+    | Ok v -> v
+    | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+  in
+  (* Help execute queued tasks while waiting (possibly the future's own
+     task), exactly like [map]'s wait loop, so nested use cannot wedge the
+     pool. *)
+  Mutex.lock t.mutex;
+  while fut.result = None do
+    if Queue.is_empty t.queue then Condition.wait fut.completed t.mutex
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      task ();
+      Mutex.lock t.mutex
+    end
+  done;
+  let r = match fut.result with Some r -> r | None -> assert false in
+  Mutex.unlock t.mutex;
+  finish r
+
 let shutdown t =
   Mutex.lock t.mutex;
   if t.stopping then Mutex.unlock t.mutex

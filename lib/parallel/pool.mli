@@ -35,6 +35,26 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 
     @raise Invalid_argument if the pool has been shut down. *)
 
+type 'a future
+(** Handle to a single task submitted with {!submit}. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** [submit t f] enqueues [f] for execution on the pool and returns
+    immediately; the task runs concurrently with the submitter.  On a
+    [jobs = 1] pool (no worker domains) [f] runs synchronously before
+    [submit] returns, so results are identical for every pool size — the
+    only difference is {e when} the work happens.  Used by the streaming
+    refit policy to overlap tree retraining with sample ingestion.
+
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val await : t -> 'a future -> 'a
+(** Block until the future's task has completed and return its result
+    (re-raising the task's exception, if any).  While waiting, the caller
+    helps execute queued tasks — possibly the awaited task itself — so
+    [await] cannot deadlock with nested {!map} calls.  [await] may be
+    called at most once per future from one thread. *)
+
 val shutdown : t -> unit
 (** Drain the queue, stop and join all worker domains.  Idempotent;
     concurrent {!map} calls must have completed first. *)

@@ -25,9 +25,22 @@ type run = {
   total_cycles : float;
 }
 
+type meta = {
+  stream_workload : string;
+  stream_machine : string;
+  stream_period : int;
+  stream_context_switches : int;
+  stream_io_blocks : int;
+  stream_os_instr_total : int;
+  stream_total_instrs : int;
+  stream_total_cycles : float;
+  stream_samples : int;
+}
+
 let io_stall_cycles = 400.0
 
-let run ?(period = 20_000) ?(code_lines_per_quantum = 48) (w : Model.t) ~cpu ~rng ~samples =
+let stream ?(period = 20_000) ?(code_lines_per_quantum = 48) (w : Model.t) ~cpu ~rng ~samples
+    ~(f : int -> sample -> unit) =
   if samples <= 0 then invalid_arg "Driver.run: samples must be positive";
   if period <= 0 then invalid_arg "Driver.run: period must be positive";
   let sink = Sink.create () in
@@ -36,7 +49,6 @@ let run ?(period = 20_000) ?(code_lines_per_quantum = 48) (w : Model.t) ~cpu ~rn
   let since_switch = ref 0 in
   let switches = ref 0 and io_blocks = ref 0 and os_total = ref 0 in
   let total_cycles = ref 0.0 and total_instrs = ref 0 in
-  let out = Array.make samples None in
   let switch_thread () =
     incr switches;
     Sink.instrs sink ~region:w.Model.os_region w.Model.os_per_switch;
@@ -104,31 +116,46 @@ let run ?(period = 20_000) ?(code_lines_per_quantum = 48) (w : Model.t) ~cpu ~rn
     os_total := !os_total + os_instrs;
     total_cycles := !total_cycles +. r.March.Cpu.cycles;
     total_instrs := !total_instrs + instrs;
-    out.(i) <-
-      Some
-        {
-          eip;
-          tid;
-          instrs;
-          cycles = r.March.Cpu.cycles;
-          breakdown = r.March.Cpu.breakdown;
-          os_instrs;
-          region_instrs = d.Sink.region_instrs;
-        }
+    f i
+      {
+        eip;
+        tid;
+        instrs;
+        cycles = r.March.Cpu.cycles;
+        breakdown = r.March.Cpu.breakdown;
+        os_instrs;
+        region_instrs = d.Sink.region_instrs;
+      }
   done;
-  let samples_arr =
-    Array.map (function Some s -> s | None -> assert false) out
+  {
+    stream_workload = w.Model.name;
+    stream_machine = (March.Cpu.config cpu).March.Config.name;
+    stream_period = period;
+    stream_context_switches = !switches;
+    stream_io_blocks = !io_blocks;
+    stream_os_instr_total = !os_total;
+    stream_total_instrs = !total_instrs;
+    stream_total_cycles = !total_cycles;
+    stream_samples = samples;
+  }
+
+let run ?period ?code_lines_per_quantum (w : Model.t) ~cpu ~rng ~samples =
+  if samples <= 0 then invalid_arg "Driver.run: samples must be positive";
+  let out = Array.make samples None in
+  let m =
+    stream ?period ?code_lines_per_quantum w ~cpu ~rng ~samples ~f:(fun i s ->
+        out.(i) <- Some s)
   in
   {
-    workload = w.Model.name;
-    machine = (March.Cpu.config cpu).March.Config.name;
-    samples = samples_arr;
-    period;
-    context_switches = !switches;
-    io_blocks = !io_blocks;
-    os_instr_total = !os_total;
-    total_instrs = !total_instrs;
-    total_cycles = !total_cycles;
+    workload = m.stream_workload;
+    machine = m.stream_machine;
+    samples = Array.map (function Some s -> s | None -> assert false) out;
+    period = m.stream_period;
+    context_switches = m.stream_context_switches;
+    io_blocks = m.stream_io_blocks;
+    os_instr_total = m.stream_os_instr_total;
+    total_instrs = m.stream_total_instrs;
+    total_cycles = m.stream_total_cycles;
   }
 
 let cpi r =

@@ -34,6 +34,37 @@ type run = {
   total_cycles : float;
 }
 
+type meta = {
+  stream_workload : string;
+  stream_machine : string;
+  stream_period : int;
+  stream_context_switches : int;
+  stream_io_blocks : int;
+  stream_os_instr_total : int;
+  stream_total_instrs : int;
+  stream_total_cycles : float;
+  stream_samples : int;
+}
+(** Run metadata without the sample array — what {!stream} can report
+    while keeping memory independent of run length. *)
+
+val stream :
+  ?period:int ->
+  ?code_lines_per_quantum:int ->
+  Workload.Model.t ->
+  cpu:March.Cpu.t ->
+  rng:Stats.Rng.t ->
+  samples:int ->
+  f:(int -> sample -> unit) ->
+  meta
+(** Streaming core of the driver: execute [samples] sampling quanta,
+    calling [f index sample] for each one as it is measured, without
+    materialising the run.  {!run} is [stream] collecting into an array,
+    so for equal inputs the two produce identical sample sequences and
+    totals.  This is the ingestion path of the online-analysis subsystem
+    ([Online.Pipeline]), whose memory must stay bounded on runs of
+    arbitrary length. *)
+
 val run :
   ?period:int ->
   ?code_lines_per_quantum:int ->

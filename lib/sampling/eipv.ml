@@ -32,32 +32,92 @@ let intern it eip =
       it.eips <- eip :: it.eips;
       f
 
-let intervals_of_samples it (samples : Driver.sample array) ~samples_per_interval =
-  let n = Array.length samples in
-  let n_intervals = n / samples_per_interval in
-  Array.init n_intervals (fun j ->
-      let first = j * samples_per_interval in
-        let counts = Hashtbl.create 64 in
-        let instrs = ref 0 and cycles = ref 0.0 in
-        let bd = ref March.Breakdown.zero in
-        for s = first to first + samples_per_interval - 1 do
-          let smp = samples.(s) in
-          let f = intern it smp.Driver.eip in
-          (match Hashtbl.find_opt counts f with
-          | Some c -> Hashtbl.replace counts f (c + 1)
-          | None -> Hashtbl.add counts f 1);
-          instrs := !instrs + smp.Driver.instrs;
-          cycles := !cycles +. smp.Driver.cycles;
-          bd := March.Breakdown.add !bd smp.Driver.breakdown
-        done;
+(* The incremental interval builder: one sample at a time, sealing an
+   interval every [samples_per_interval] feeds.  The batch constructors
+   below are thin wrappers over it, so the streaming subsystem
+   ([Online.Pipeline]) and the offline pipeline build identical intervals
+   by construction. *)
+module Builder = struct
+  type builder = {
+    it : interner;
+    samples_per_interval : int;
+    mutable counts : (int, int) Hashtbl.t;
+    mutable instrs : int;
+    mutable cycles : float;
+    mutable bd : March.Breakdown.t;
+    mutable filled : int;  (** samples in the current partial interval *)
+    mutable fed : int;  (** total samples ever fed *)
+    mutable n_sealed : int;
+  }
+
+  type t = builder
+
+  let with_interner it ~samples_per_interval =
+    if samples_per_interval <= 0 then
+      invalid_arg "Eipv.Builder.create: samples_per_interval must be positive";
+    {
+      it;
+      samples_per_interval;
+      counts = Hashtbl.create 64;
+      instrs = 0;
+      cycles = 0.0;
+      bd = March.Breakdown.zero;
+      filled = 0;
+      fed = 0;
+      n_sealed = 0;
+    }
+
+  let create ~samples_per_interval = with_interner (new_interner ()) ~samples_per_interval
+
+  let feed b (smp : Driver.sample) =
+    let f = intern b.it smp.Driver.eip in
+    (match Hashtbl.find_opt b.counts f with
+    | Some c -> Hashtbl.replace b.counts f (c + 1)
+    | None -> Hashtbl.add b.counts f 1);
+    b.instrs <- b.instrs + smp.Driver.instrs;
+    b.cycles <- b.cycles +. smp.Driver.cycles;
+    b.bd <- March.Breakdown.add b.bd smp.Driver.breakdown;
+    b.filled <- b.filled + 1;
+    b.fed <- b.fed + 1;
+    if b.filled < b.samples_per_interval then None
+    else begin
+      let iv =
         {
-          eipv = Stats.Sparse_vec.of_counts counts;
-          cpi = !cycles /. float_of_int (max 1 !instrs);
-          instrs = !instrs;
-          cycles = !cycles;
-          breakdown = March.Breakdown.per_instr !bd ~instrs:(max 1 !instrs);
-          first_sample = first;
-        })
+          eipv = Stats.Sparse_vec.of_counts b.counts;
+          cpi = b.cycles /. float_of_int (max 1 b.instrs);
+          instrs = b.instrs;
+          cycles = b.cycles;
+          breakdown = March.Breakdown.per_instr b.bd ~instrs:(max 1 b.instrs);
+          first_sample = b.fed - b.samples_per_interval;
+        }
+      in
+      b.counts <- Hashtbl.create 64;
+      b.instrs <- 0;
+      b.cycles <- 0.0;
+      b.bd <- March.Breakdown.zero;
+      b.filled <- 0;
+      b.n_sealed <- b.n_sealed + 1;
+      Some iv
+    end
+
+  let sealed b = b.n_sealed
+  let pending_samples b = b.filled
+  let samples_per_interval b = b.samples_per_interval
+  let n_features b = b.it.next
+  let eip_of_feature b = Array.of_list (List.rev b.it.eips)
+end
+
+let intervals_of_samples it (samples : Driver.sample array) ~samples_per_interval =
+  let b = Builder.with_interner it ~samples_per_interval in
+  (* Trailing samples that do not fill an interval are dropped before
+     feeding, so they intern no features (matching the documented batch
+     contract). *)
+  let n = Array.length samples / samples_per_interval * samples_per_interval in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    match Builder.feed b samples.(i) with Some iv -> out := iv :: !out | None -> ()
+  done;
+  Array.of_list (List.rev !out)
 
 let build_from_samples (samples : Driver.sample array) ~samples_per_interval =
   if samples_per_interval <= 0 then

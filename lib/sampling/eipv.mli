@@ -21,6 +21,35 @@ type t = {
   samples_per_interval : int;
 }
 
+(** Incremental interval construction: feed one {!Driver.sample} at a
+    time; an {!interval} is sealed and returned every
+    [samples_per_interval] feeds.  {!build} is implemented on top of this
+    module, so a stream of samples fed one-by-one yields byte-identical
+    intervals (same feature interning order, same accumulation order of
+    cycles/instructions) to the batch constructor — the equality the
+    online-analysis subsystem's convergence guarantee rests on.  State is
+    O(samples_per_interval + unique EIPs seen): nothing sealed is
+    retained. *)
+module Builder : sig
+  type t
+
+  val create : samples_per_interval:int -> t
+  val feed : t -> Driver.sample -> interval option
+  (** [Some interval] exactly when this sample completes an interval. *)
+
+  val sealed : t -> int
+  (** Number of intervals sealed so far. *)
+
+  val pending_samples : t -> int
+  (** Samples buffered in the current partial interval
+      (< samples_per_interval). *)
+
+  val samples_per_interval : t -> int
+  val n_features : t -> int
+  val eip_of_feature : t -> int array
+  (** Snapshot of the feature-id -> EIP mapping built so far. *)
+end
+
 val build : Driver.run -> samples_per_interval:int -> t
 (** Trailing samples that do not fill a whole interval are dropped.
     Requires at least one full interval. *)

@@ -8,26 +8,38 @@
 
 let version = 1
 
+let write_run oc (run : Driver.run) =
+  Printf.fprintf oc "fuzzytrace %d %s %s %d %d %d %d %d %h %d\n" version
+    run.Driver.workload run.Driver.machine run.Driver.period run.Driver.context_switches
+    run.Driver.io_blocks run.Driver.os_instr_total run.Driver.total_instrs
+    run.Driver.total_cycles
+    (Array.length run.Driver.samples);
+  Array.iter
+    (fun (s : Driver.sample) ->
+      let b = s.Driver.breakdown in
+      Printf.fprintf oc "%d %d %d %h %h %h %h %h %d %d" s.Driver.eip s.Driver.tid
+        s.Driver.instrs s.Driver.cycles b.March.Breakdown.work b.March.Breakdown.fe
+        b.March.Breakdown.exe b.March.Breakdown.other s.Driver.os_instrs
+        (Array.length s.Driver.region_instrs);
+      Array.iter (fun (r, n) -> Printf.fprintf oc " %d %d" r n) s.Driver.region_instrs;
+      output_char oc '\n')
+    run.Driver.samples
+
 let save (run : Driver.run) ~path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "fuzzytrace %d %s %s %d %d %d %d %d %h %d\n" version
-        run.Driver.workload run.Driver.machine run.Driver.period run.Driver.context_switches
-        run.Driver.io_blocks run.Driver.os_instr_total run.Driver.total_instrs
-        run.Driver.total_cycles
-        (Array.length run.Driver.samples);
-      Array.iter
-        (fun (s : Driver.sample) ->
-          let b = s.Driver.breakdown in
-          Printf.fprintf oc "%d %d %d %h %h %h %h %h %d %d" s.Driver.eip s.Driver.tid
-            s.Driver.instrs s.Driver.cycles b.March.Breakdown.work b.March.Breakdown.fe
-            b.March.Breakdown.exe b.March.Breakdown.other s.Driver.os_instrs
-            (Array.length s.Driver.region_instrs);
-          Array.iter (fun (r, n) -> Printf.fprintf oc " %d %d" r n) s.Driver.region_instrs;
-          output_char oc '\n')
-        run.Driver.samples)
+  (* Write to a temp file in the target directory and rename into place:
+     a crash mid-save can never leave a truncated archive at [path] that
+     [load] would then reject.  Same-directory rename keeps the move
+     atomic (no cross-filesystem copy). *)
+  let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) ".fuzzytrace" ".tmp" in
+  let oc = open_out tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> write_run oc run)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 let fail_fmt fmt = Printf.ksprintf failwith fmt
 

@@ -11,7 +11,10 @@
 val save : Driver.run -> path:string -> unit
 (** Overwrites [path].  The format is versioned; all run metadata and
     per-sample fields (including the region histograms used by
-    {!Rvec}) are preserved. *)
+    {!Rvec}) are preserved.  The write is crash-safe: data goes to a
+    temporary file in [path]'s directory which is atomically renamed
+    into place, so an interrupted save never leaves a truncated archive
+    that {!load} would reject. *)
 
 val load : path:string -> Driver.run
 (** Raises [Failure] with a descriptive message on version mismatch or a
