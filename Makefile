@@ -1,20 +1,29 @@
 # Convenience targets mirroring CI.
 
-.PHONY: build check test bench clean
+.PHONY: build check test bench lint clean
 
 # @all also builds the examples and benches, so they cannot bitrot.
 build:
 	dune build @all
 
-# The determinism gate: the whole suite must pass both fully serial and
-# on a 4-domain pool (the equivalence tests compare the two bit-for-bit),
-# and the streaming CLI must print byte-identical traces at both.
-check: build
+# The determinism gate: the static lint must be clean, the whole suite must
+# pass both fully serial and on a 4-domain pool (the equivalence tests
+# compare the two bit-for-bit), the streaming CLI must print byte-identical
+# traces at both, and the lint JSON reporter itself is golden-file compared
+# on the fixture tree (which must also make lint exit non-zero).
+check: build lint
 	JOBS=1 dune runtest --force
 	JOBS=4 dune runtest --force
 	dune exec bin/repro.exe -- stream odb_h_q13 mcf --quick --jobs 1 > _build/stream-j1.out
 	dune exec bin/repro.exe -- stream odb_h_q13 mcf --quick --jobs 4 > _build/stream-j4.out
 	cmp _build/stream-j1.out _build/stream-j4.out
+	if dune exec bin/repro.exe -- lint --json --root test/lint_fixtures > _build/lint-fixtures.json 2>/dev/null; \
+	  then echo "lint fixtures unexpectedly clean" >&2; exit 1; fi
+	cmp _build/lint-fixtures.json test/lint_fixtures/golden.json
+
+# Static determinism & hygiene gate (rules D001-D008, DESIGN.md §10).
+lint: build
+	dune exec bin/repro.exe -- lint
 
 test:
 	dune runtest

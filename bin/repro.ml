@@ -198,6 +198,65 @@ let stream_cmd =
           bit-identical for every --jobs value.")
     Term.(const run $ config_term $ names $ reservoir $ window $ no_trace)
 
+let lint_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the machine-readable JSON report.")
+  in
+  let root =
+    Arg.(
+      value & opt string "."
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Directory to lint (default: the current repo checkout).")
+  in
+  let rules =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"IDS"
+          ~doc:"Comma-separated rule ids to run (default: all of D001-D008).")
+  in
+  let waivers =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "waivers" ] ~docv:"FILE"
+          ~doc:"Waiver baseline, relative to --root (default: lint.waivers).")
+  in
+  let run json root rules waivers =
+    let cfg = { Lint.Engine.default with Lint.Engine.root } in
+    let cfg =
+      match rules with
+      | Some s ->
+          let ids =
+            String.split_on_char ',' s |> List.map String.trim
+            |> List.filter (fun id -> id <> "")
+          in
+          { cfg with Lint.Engine.rules = Some ids }
+      | None -> cfg
+    in
+    let cfg =
+      match waivers with
+      | Some w -> { cfg with Lint.Engine.waivers_file = w }
+      | None -> cfg
+    in
+    match Lint.Engine.run cfg with
+    | Error msg ->
+        Printf.eprintf "lint: %s\n" msg;
+        exit 2
+    | Ok res ->
+        print_string (if json then Lint.Reporter.json res else Lint.Reporter.human res);
+        if Lint.Engine.errors res > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check the determinism & hygiene rules (D001-D008) over the source \
+          tree: randomness outside Stats.Rng, wall-clock outside bench/, unsorted \
+          Hashtbl traversals, stray Domain.spawn, physical equality, stdout printing in \
+          lib/, missing .mli files and wildcard exception handlers.  Exits non-zero on \
+          any unwaived error.")
+    Term.(const run $ json $ root $ rules $ waivers)
+
 let workloads_cmd =
   let run () =
     Array.iter
@@ -223,4 +282,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; all_cmd; analyze_cmd; stream_cmd; workloads_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; analyze_cmd; stream_cmd; workloads_cmd; lint_cmd ]))

@@ -43,7 +43,8 @@ let chambers () =
       let l = match Hashtbl.find_opt buckets mean with Some l -> l | None -> [] in
       Hashtbl.replace buckets mean (j :: l))
     ds.Rtree.Dataset.rows;
-  Hashtbl.fold (fun mean members acc -> (List.rev members, mean) :: acc) buckets []
+  Stats.Det.hashtbl_bindings buckets
+  |> List.map (fun (mean, members) -> (List.rev members, mean))
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let render_table () =

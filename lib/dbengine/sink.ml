@@ -70,7 +70,11 @@ let drain (t : t) =
     {
       instrs = t.instr_total;
       region_instrs =
-        Hashtbl.fold (fun r c acc -> (r, !c) :: acc) t.regions [] |> Array.of_list;
+        (* Region order feeds RNG draws and feature interning downstream:
+           sorted by region id, not bucket order. *)
+        Stats.Det.hashtbl_bindings t.regions
+        |> List.map (fun (r, c) -> (r, !c))
+        |> Array.of_list;
       addrs = Gv.Int.to_array t.addrs;
       writes = Gv.Bool.to_array t.writes;
       branch_pcs = Gv.Int.to_array t.branch_pcs;

@@ -1,0 +1,101 @@
+let rules = Rules_det.all @ Rules_hygiene.all
+let find_rule id = List.find_opt (fun r -> r.Rule.id = id) rules
+
+type config = {
+  root : string;
+  dirs : string list;
+  exclude : string list;
+  rules : string list option;
+  waivers_file : string;
+}
+
+let default =
+  {
+    root = ".";
+    dirs = [ "lib"; "bin"; "bench"; "test" ];
+    (* The fixture tree exists to violate every rule; golden-tested separately. *)
+    exclude = [ "test/lint_fixtures" ];
+    rules = None;
+    waivers_file = "lint.waivers";
+  }
+
+type result = {
+  findings : Rule.finding list;
+  waived : Rule.finding list;
+  files : int;
+}
+
+let count sev res =
+  List.length
+    (List.filter (fun (f : Rule.finding) -> f.Rule.severity = sev) res.findings)
+
+let errors = count Rule.Error
+let warnings = count Rule.Warning
+
+let w000 (wpath : string) (e : Waivers.entry) =
+  {
+    Rule.rule = "W000";
+    severity = Rule.Warning;
+    file = wpath;
+    line = e.Waivers.entry_line;
+    col = 0;
+    message =
+      Printf.sprintf "stale waiver: %s %s matches no finding; delete it" e.Waivers.rule
+        e.Waivers.path;
+  }
+
+let run_sources ?rules:rule_filter ?(waivers = Waivers.empty) sources =
+  let active =
+    match rule_filter with
+    | None -> rules
+    | Some ids -> List.filter (fun r -> List.mem r.Rule.id ids) rules
+  in
+  let parse_findings =
+    List.filter_map (fun (s : Rule.source) -> s.Rule.parse_error) sources
+  in
+  let raw = List.concat_map (fun r -> r.Rule.check sources) active in
+  let allows =
+    List.concat_map
+      (fun (s : Rule.source) ->
+        match s.Rule.ast with
+        | Some ast -> Waivers.allows ~file:s.Rule.path ast
+        | None -> [])
+      sources
+  in
+  let kept, waived, unused = Waivers.apply waivers ~allows raw in
+  let stale =
+    (* Under --rules a baseline entry for a disabled rule is not stale. *)
+    match rule_filter with
+    | Some _ -> []
+    | None -> List.map (w000 waivers.Waivers.wpath) unused
+  in
+  {
+    findings = List.sort Rule.compare_finding (parse_findings @ kept @ stale);
+    waived = List.sort Rule.compare_finding waived;
+    files = List.length sources;
+  }
+
+let validate_rule_filter = function
+  | None -> Ok None
+  | Some ids -> (
+      match List.filter (fun id -> find_rule id = None) ids with
+      | [] -> Ok (Some ids)
+      | unknown ->
+          Error
+            (Printf.sprintf "unknown rule id(s): %s (known: %s)"
+               (String.concat ", " unknown)
+               (String.concat ", " (List.map (fun r -> r.Rule.id) rules))))
+
+let run cfg =
+  match validate_rule_filter cfg.rules with
+  | Error _ as e -> e
+  | Ok rule_filter -> (
+      let sources = Loader.load ~root:cfg.root ~dirs:cfg.dirs ~exclude:cfg.exclude in
+      let wfile = Filename.concat cfg.root cfg.waivers_file in
+      let waivers =
+        if Sys.file_exists wfile then Waivers.load ~path:cfg.waivers_file wfile
+        else Ok Waivers.empty
+      in
+      match waivers with
+      | Error msg -> Error (Printf.sprintf "%s: %s" cfg.waivers_file msg)
+      | Ok waivers -> Ok (run_sources ?rules:rule_filter ~waivers sources))

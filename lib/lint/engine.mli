@@ -1,0 +1,37 @@
+(** The rule engine: load sources, run the registry, apply waivers. *)
+
+val rules : Rule.t list
+(** The full registry, D001–D008, in id order. *)
+
+val find_rule : string -> Rule.t option
+
+type config = {
+  root : string;  (** directory the scan (and all reported paths) is relative to *)
+  dirs : string list;  (** root-relative directories to walk *)
+  exclude : string list;  (** root-relative path prefixes to skip *)
+  rules : string list option;  (** [None] = every rule *)
+  waivers_file : string;  (** root-relative; silently empty when absent *)
+}
+
+val default : config
+(** [lib bin bench test] under ["."], excluding [test/lint_fixtures], all
+    rules, baseline [lint.waivers]. *)
+
+type result = {
+  findings : Rule.finding list;
+      (** unwaived findings, sorted — includes [E000] syntax errors and
+          [W000] stale-waiver warnings *)
+  waived : Rule.finding list;
+  files : int;
+}
+
+val errors : result -> int
+val warnings : result -> int
+
+val run_sources :
+  ?rules:string list -> ?waivers:Waivers.t -> Rule.source list -> result
+(** Pure core, used by the tests with in-memory sources.  [W000] stale-waiver
+    checking only runs with the full registry (no [?rules] filter). *)
+
+val run : config -> (result, string) Stdlib.result
+(** [Error] on an unknown rule id or an unparseable waivers file. *)

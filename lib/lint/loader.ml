@@ -1,0 +1,58 @@
+(* Source discovery.  Everything is sorted so the engine's input — and hence
+   its output — is a pure function of the tree's contents. *)
+
+let e000 ~path (line, col, msg) =
+  {
+    Rule.rule = "E000";
+    severity = Rule.Error;
+    file = path;
+    line;
+    col;
+    message = "syntax error: " ^ msg;
+  }
+
+let of_string ~path code =
+  if Filename.check_suffix path ".mli" then
+    { Rule.path; kind = Rule.Intf; ast = None; parse_error = None }
+  else
+    match Syntax.parse_string ~path code with
+    | Ok ast -> { Rule.path; kind = Rule.Impl; ast = Some ast; parse_error = None }
+    | Error err ->
+        { Rule.path; kind = Rule.Impl; ast = None; parse_error = Some (e000 ~path err) }
+
+let hidden name = name = "" || name.[0] = '.' || name.[0] = '_'
+
+let excluded ~exclude path =
+  List.exists (fun p -> path = p || String.starts_with ~prefix:(p ^ "/") path) exclude
+
+let source_file name =
+  Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+
+let load ~root ~dirs ~exclude =
+  let files = ref [] in
+  let rec walk rel =
+    let full = Filename.concat root rel in
+    match Sys.is_directory full with
+    | exception Sys_error _ -> ()
+    | false -> ()
+    | true ->
+        Array.iter
+          (fun name ->
+            if not (hidden name) then begin
+              let rel = rel ^ "/" ^ name in
+              if not (excluded ~exclude rel) then begin
+                let full = Filename.concat root rel in
+                if Sys.is_directory full then walk rel
+                else if source_file name then files := rel :: !files
+              end
+            end)
+          (Sys.readdir full)
+  in
+  List.iter walk dirs;
+  !files
+  |> List.sort compare
+  |> List.map (fun path ->
+         let code =
+           In_channel.with_open_bin (Filename.concat root path) In_channel.input_all
+         in
+         of_string ~path code)

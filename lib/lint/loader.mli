@@ -1,0 +1,10 @@
+(** Deterministic source discovery: walk, read and parse the tree. *)
+
+val of_string : path:string -> string -> Rule.source
+(** Build a source from in-memory text ([.mli] paths are recorded unparsed);
+    a syntax error in a [.ml] becomes an [E000] finding on the source. *)
+
+val load : root:string -> dirs:string list -> exclude:string list -> Rule.source list
+(** All [.ml]/[.mli] files under [root]/[dirs], path-sorted.  Directories that
+    do not exist are skipped, as are entries starting with ['.'] or ['_']
+    (e.g. [_build]) and any root-relative path with a prefix in [exclude]. *)

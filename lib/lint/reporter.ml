@@ -1,0 +1,64 @@
+(* Renderers return strings (D006: the CLI owns stdout).  Both formats are
+   byte-deterministic: findings are pre-sorted by the engine and nothing here
+   consults the environment. *)
+
+let human (res : Engine.result) =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (f : Rule.finding) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s:%d:%d %s %s: %s\n" f.Rule.file f.Rule.line f.Rule.col
+           f.Rule.rule
+           (Rule.severity_to_string f.Rule.severity)
+           f.Rule.message))
+    res.Engine.findings;
+  let e = Engine.errors res and w = Engine.warnings res in
+  if e = 0 && w = 0 then
+    Buffer.add_string b
+      (Printf.sprintf "lint clean: %d files checked, %d finding(s) waived.\n"
+         res.Engine.files
+         (List.length res.Engine.waived))
+  else
+    Buffer.add_string b
+      (Printf.sprintf "%d error(s), %d warning(s) in %d files (%d waived).\n" e w
+         res.Engine.files
+         (List.length res.Engine.waived));
+  Buffer.contents b
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let finding_json (f : Rule.finding) =
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+    (escape f.Rule.rule)
+    (Rule.severity_to_string f.Rule.severity)
+    (escape f.Rule.file) f.Rule.line f.Rule.col (escape f.Rule.message)
+
+let json (res : Engine.result) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"version\":1,\"files\":%d,\"errors\":%d,\"warnings\":%d,\"waived\":%d,"
+       res.Engine.files (Engine.errors res) (Engine.warnings res)
+       (List.length res.Engine.waived));
+  Buffer.add_string b "\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n";
+      Buffer.add_string b (finding_json f))
+    res.Engine.findings;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b

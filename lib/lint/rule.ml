@@ -1,0 +1,43 @@
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type finding = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type kind = Impl | Intf
+
+type source = {
+  path : string;
+  kind : kind;
+  ast : Parsetree.structure option;
+  parse_error : finding option;
+}
+
+type t = {
+  id : string;
+  title : string;
+  doc : string;
+  severity : severity;
+  check : source list -> finding list;
+}
+
+let finding (r : t) ~file ~line ~col message =
+  { rule = r.id; severity = r.severity; file; line; col; message }
+
+(* Total order on findings: report order is a pure function of the finding
+   set, never of rule registration or traversal order. *)
+let compare_finding a b =
+  compare
+    (a.file, a.line, a.col, a.rule, a.message)
+    (b.file, b.line, b.col, b.rule, b.message)
+
+let under dir path = String.starts_with ~prefix:(dir ^ "/") path
+let in_lib path = under "lib" path
+let per_file f sources = List.concat_map f sources

@@ -1,0 +1,73 @@
+(* D001-D004: the rules that carry the repo's determinism guarantee
+   (results bit-identical across --jobs and across runs). *)
+
+let d001 =
+  Syntax.ident_rule ~id:"D001" ~title:"Random.* outside lib/stats/rng.ml"
+    ~doc:
+      "All randomness must flow through the splittable Stats.Rng streams, which \
+       are pure functions of (seed, label).  Stdlib Random is a single global \
+       mutable state: any call order change (parallel scheduling, refactors) \
+       silently reshuffles every downstream draw."
+    ~scope:(fun path -> path <> "lib/stats/rng.ml")
+    ~hit:(fun name ->
+      if String.starts_with ~prefix:"Random." name then
+        Some (name ^ ": use a Stats.Rng stream (split_label) instead of global Random")
+      else None)
+    ()
+
+let wall_clock = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+let d002 =
+  Syntax.ident_rule ~id:"D002" ~title:"wall-clock outside bench/"
+    ~doc:
+      "Analysis results must be pure functions of (config, seed).  Wall-clock \
+       and CPU-time reads make output depend on when and how fast the run \
+       executed; only bench/ may time things, and only for reporting."
+    ~scope:(fun path -> not (Rule.under "bench" path))
+    ~hit:(fun name ->
+      if List.mem name wall_clock then
+        Some (name ^ ": wall-clock/CPU time is only allowed under bench/")
+      else None)
+    ()
+
+let hashtbl_traversals =
+  [
+    "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.to_seq"; "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values";
+  ]
+
+let d003 =
+  Syntax.ident_rule ~id:"D003" ~title:"unsorted Hashtbl traversal in lib/"
+    ~doc:
+      "Hashtbl.iter/fold/to_seq enumerate bindings in hash-bucket order — an \
+       implementation detail that changes across OCaml versions and hash \
+       functions.  Anything order-sensitive fed from such a traversal (output \
+       rows, float summation, RNG consumption, feature interning) is only \
+       deterministic by luck.  Traverse via Stats.Det.hashtbl_bindings, which \
+       sorts bindings by key first."
+    ~scope:(fun path ->
+      (* det.ml is the one blessed traversal site, as rng.ml is for D001. *)
+      Rule.in_lib path && path <> "lib/stats/det.ml")
+    ~hit:(fun name ->
+      if List.mem name hashtbl_traversals then
+        Some
+          (name
+         ^ ": bucket-order traversal; sort bindings first (Stats.Det.hashtbl_bindings)")
+      else None)
+    ()
+
+let d004 =
+  Syntax.ident_rule ~id:"D004" ~title:"Domain.spawn outside lib/parallel"
+    ~doc:
+      "All parallelism goes through Parallel.Pool, whose deterministic-merge \
+       contract (per-task partial results, fixed combine order) is what makes \
+       --jobs invisible in the output.  A stray Domain.spawn bypasses that \
+       contract."
+    ~scope:(fun path -> not (Rule.under "lib/parallel" path))
+    ~hit:(fun name ->
+      if name = "Domain.spawn" then
+        Some "Domain.spawn: submit work to Parallel.Pool instead"
+      else None)
+    ()
+
+let all = [ d001; d002; d003; d004 ]

@@ -1,0 +1,8 @@
+(** D001–D004: determinism rules (randomness, wall-clock, hash-order,
+    parallelism containment). *)
+
+val d001 : Rule.t
+val d002 : Rule.t
+val d003 : Rule.t
+val d004 : Rule.t
+val all : Rule.t list

@@ -1,0 +1,71 @@
+(* Thin layer over compiler-libs: parsing and the two AST walks every rule
+   needs (value identifiers and raw expressions). *)
+
+let line_col (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let parse_string ~path code =
+  let lexbuf = Lexing.from_string code in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception exn -> (
+      match Location.error_of_exn exn with
+      | Some (`Ok report) ->
+          let loc = report.Location.main.Location.loc in
+          let line, col = line_col loc in
+          let msg = Format.asprintf "%t" report.Location.main.Location.txt in
+          Error (line, col, msg)
+      | Some `Already_displayed | None -> Error (1, 0, Printexc.to_string exn))
+
+(* "Stdlib.Hashtbl.fold" and "Hashtbl.fold" must hit the same rules. *)
+let strip_stdlib = function "Stdlib" :: (_ :: _ as rest) -> rest | parts -> parts
+
+let longident_name lid =
+  let rec flatten acc = function
+    | Longident.Lident s -> Some (s :: acc)
+    | Longident.Ldot (l, s) -> flatten (s :: acc) l
+    | Longident.Lapply _ -> None
+  in
+  match flatten [] lid with
+  | Some parts -> Some (String.concat "." (strip_stdlib parts))
+  | None -> None
+
+let iter_expressions ast f =
+  let default = Ast_iterator.default_iterator in
+  let expr self e =
+    f e;
+    default.Ast_iterator.expr self e
+  in
+  let it = { default with Ast_iterator.expr } in
+  it.Ast_iterator.structure it ast
+
+let iter_idents ast f =
+  iter_expressions ast (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident { Asttypes.txt; loc } -> (
+          match longident_name txt with Some name -> f name loc | None -> ())
+      | _ -> ())
+
+let ident_rule ~id ~title ~doc ?(severity = Rule.Error) ~scope ~hit () =
+  let rule =
+    { Rule.id; title; doc; severity; check = (fun _ -> []) }
+  in
+  let check =
+    Rule.per_file (fun (s : Rule.source) ->
+        if not (scope s.path) then []
+        else
+          match s.ast with
+          | None -> []
+          | Some ast ->
+              let acc = ref [] in
+              iter_idents ast (fun name loc ->
+                  match hit name with
+                  | Some message ->
+                      let line, col = line_col loc in
+                      acc := Rule.finding rule ~file:s.path ~line ~col message :: !acc
+                  | None -> ());
+              List.rev !acc)
+  in
+  { rule with Rule.check }

@@ -66,8 +66,7 @@ let best_split (data : Dataset.t) ~rows ~n ~sum ~sumsq ~min_leaf =
             | None -> Hashtbl.add per_feature f (ref [ (x, y) ]))
           data.Dataset.rows.(r))
       rows;
-    let features = Hashtbl.fold (fun f _ acc -> f :: acc) per_feature [] in
-    let features = List.sort compare features in
+    let features = List.map fst (Stats.Det.hashtbl_bindings per_feature) in
     let best = ref None in
     let consider feature threshold gain =
       match !best with
@@ -150,19 +149,23 @@ let build ?(min_leaf = 1) ?(min_gain = 1e-12) ~max_leaves (data : Dataset.t) =
   let n_splits = ref 0 in
   let leaves = ref 1 in
   while !leaves < max_leaves && !frontier <> [] do
-    (* Pick the frontier leaf whose split removes the most squared error. *)
-    let best_pair =
-      List.fold_left
-        (fun acc pair ->
-          match acc with
-          | None -> Some pair
-          | Some (_, bc) -> if (snd pair).cgain > bc.cgain then Some pair else acc)
-        None !frontier
+    (* Pick the frontier leaf whose split removes the most squared error;
+       the first of equal gains wins, by position, not pointer identity. *)
+    let best_idx =
+      let bi = ref (-1) and bg = ref neg_infinity in
+      List.iteri
+        (fun i (_, c) ->
+          if c.cgain > !bg then begin
+            bi := i;
+            bg := c.cgain
+          end)
+        !frontier;
+      !bi
     in
-    match best_pair with
+    match if best_idx < 0 then None else Some (List.nth !frontier best_idx) with
     | None -> frontier := []
-    | Some ((node, cand) as chosen) ->
-        frontier := List.filter (fun p -> p != chosen) !frontier;
+    | Some (node, cand) ->
+        frontier := List.filteri (fun i _ -> i <> best_idx) !frontier;
         let lrows, rrows = partition data node.rows cand.cfeature cand.cthreshold in
         let lnode = make_mnode data lrows and rnode = make_mnode data rrows in
         incr n_splits;
@@ -268,7 +271,8 @@ let feature_importance t =
         collect right
   in
   collect t.root;
-  let entries = Hashtbl.fold (fun f g acc -> (f, !g) :: acc) gains [] in
+  (* Key-sorted before the stable sort on gain, so ties break by feature id. *)
+  let entries = List.map (fun (f, g) -> (f, !g)) (Stats.Det.hashtbl_bindings gains) in
   let norm = if !total > 0.0 then !total else 1.0 in
   entries
   |> List.map (fun (f, g) -> (f, g /. norm))

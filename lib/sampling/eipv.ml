@@ -150,8 +150,8 @@ let samples_by_thread (run : Driver.run) =
       in
       l := s :: !l)
     run.Driver.samples;
-  Hashtbl.fold (fun tid l acc -> (tid, Array.of_list (List.rev !l)) :: acc) by_tid []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  Stats.Det.hashtbl_bindings by_tid
+  |> List.map (fun (tid, l) -> (tid, Array.of_list (List.rev !l)))
 
 let build_thread_separated (run : Driver.run) ~samples_per_interval =
   if samples_per_interval <= 0 then
@@ -188,14 +188,12 @@ let build_per_thread (run : Driver.run) ~samples_per_interval =
       in
       l := s :: !l)
     run.Driver.samples;
-  Hashtbl.fold
-    (fun tid l acc ->
-      let samples = Array.of_list (List.rev !l) in
-      if Array.length samples >= samples_per_interval then
-        (tid, build_from_samples samples ~samples_per_interval) :: acc
-      else acc)
-    by_tid []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  Stats.Det.hashtbl_bindings by_tid
+  |> List.filter_map (fun (tid, l) ->
+         let samples = Array.of_list (List.rev !l) in
+         if Array.length samples >= samples_per_interval then
+           Some (tid, build_from_samples samples ~samples_per_interval)
+         else None)
   |> Array.of_list
 
 let cpis t = Array.map (fun iv -> iv.cpi) t.intervals

@@ -1,0 +1,8 @@
+(* The one blessed Hashtbl-traversal site (lint rule D003, the analogue of
+   rng.ml for D001): every other module enumerates hash tables through this
+   sort, so iteration order is a function of the keys, never of the hash. *)
+
+let hashtbl_bindings tbl =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

@@ -1,0 +1,11 @@
+(** Deterministic hash-table traversal.
+
+    [Hashtbl.iter]/[fold]/[to_seq] enumerate in hash-bucket order — stable for
+    one binary on one stdlib, but an implementation detail nothing downstream
+    may depend on.  Lint rule D003 bans them in [lib/]; this module is the
+    blessed replacement. *)
+
+val hashtbl_bindings : ('a, 'b) Hashtbl.t -> ('a * 'b) list
+(** All bindings sorted by key (polymorphic compare, ascending).  Intended for
+    tables with unique keys ([Hashtbl.replace]/guarded [add] discipline): with
+    duplicate keys the relative order of equal keys is unspecified. *)

@@ -10,10 +10,7 @@ let of_assoc pairs =
       let cur = try Hashtbl.find tbl i with Not_found -> 0.0 in
       Hashtbl.replace tbl i (cur +. x))
     pairs;
-  let entries =
-    Hashtbl.fold (fun i x acc -> if x <> 0.0 then (i, x) :: acc else acc) tbl []
-  in
-  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  let entries = List.filter (fun (_, x) -> x <> 0.0) (Det.hashtbl_bindings tbl) in
   let n = List.length entries in
   let idx = Array.make n 0 and v = Array.make n 0.0 in
   List.iteri
@@ -24,7 +21,7 @@ let of_assoc pairs =
   { idx; v }
 
 let of_counts tbl =
-  of_assoc (Hashtbl.fold (fun i c acc -> (i, float_of_int c) :: acc) tbl [])
+  of_assoc (List.map (fun (i, c) -> (i, float_of_int c)) (Det.hashtbl_bindings tbl))
 
 let of_dense a =
   let pairs = ref [] in

@@ -48,7 +48,8 @@ let entry t region =
 
 let n_eips t ~region = (entry t region).n_eips
 
-let total_eips t = Hashtbl.fold (fun _ e acc -> acc + e.n_eips) t.entries 0
+let total_eips t =
+  List.fold_left (fun acc (_, e) -> acc + e.n_eips) 0 (Stats.Det.hashtbl_bindings t.entries)
 
 let draw_eip t rng ~region =
   let e = entry t region in

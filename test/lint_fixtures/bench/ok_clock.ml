@@ -1,0 +1,5 @@
+(* Fixture: wall-clock is fine under bench/ -- no finding expected. *)
+let elapsed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0

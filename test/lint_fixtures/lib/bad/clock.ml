@@ -1,0 +1,3 @@
+(* Fixture: two D002 wall-clock reads outside bench/. *)
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

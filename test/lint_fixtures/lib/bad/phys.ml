@@ -1,0 +1,5 @@
+(* Fixture: D005 physical equality, D006 stdout printing, D008 wildcard
+   exception handler. *)
+let same a b = a == b
+let shout n = Printf.printf "%d\n" n
+let swallow f = try f () with _ -> 0

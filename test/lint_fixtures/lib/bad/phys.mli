@@ -1,0 +1,3 @@
+val same : 'a -> 'a -> bool
+val shout : int -> unit
+val swallow : (unit -> int) -> int

@@ -1,0 +1,2 @@
+(* Fixture: D001 (global Random) and D007 (no rand.mli). *)
+let roll () = Random.int 6

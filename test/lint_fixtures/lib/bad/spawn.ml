@@ -1,0 +1,3 @@
+(* Fixture: D004 Domain.spawn outside lib/parallel -- waived in the
+   fixture lint.waivers to exercise file-level waivers. *)
+let go f = Domain.spawn f

@@ -1,0 +1,1 @@
+val go : (unit -> 'a) -> 'a Domain.t

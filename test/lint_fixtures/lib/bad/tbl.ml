@@ -1,0 +1,7 @@
+(* Fixture: D003 bucket-order traversal; the second site carries an
+   attribute waiver and must be reported as waived, not as a finding. *)
+let sum tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+let sum_allowed tbl =
+  (* Commutative exact int sum: order cannot matter. *)
+  (Hashtbl.fold [@lint.allow "D003"]) (fun _ v acc -> acc + v) tbl 0

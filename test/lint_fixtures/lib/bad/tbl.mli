@@ -1,0 +1,2 @@
+val sum : ('a, int) Hashtbl.t -> int
+val sum_allowed : ('a, int) Hashtbl.t -> int
