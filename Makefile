@@ -1,6 +1,6 @@
 # Convenience targets mirroring CI.
 
-.PHONY: build check test bench lint clean
+.PHONY: build check test bench lint serve-smoke clean
 
 # @all also builds the examples and benches, so they cannot bitrot.
 build:
@@ -9,9 +9,10 @@ build:
 # The determinism gate: the static lint must be clean, the whole suite must
 # pass both fully serial and on a 4-domain pool (the equivalence tests
 # compare the two bit-for-bit), the streaming CLI must print byte-identical
-# traces at both, and the lint JSON reporter itself is golden-file compared
+# traces at both, the analysis server must answer byte-identically to the
+# offline CLI, and the lint JSON reporter itself is golden-file compared
 # on the fixture tree (which must also make lint exit non-zero).
-check: build lint
+check: build lint serve-smoke
 	JOBS=1 dune runtest --force
 	JOBS=4 dune runtest --force
 	dune exec bin/repro.exe -- stream odb_h_q13 mcf --quick --jobs 1 > _build/stream-j1.out
@@ -24,6 +25,12 @@ check: build lint
 # Static determinism & hygiene gate (rules D001-D008, DESIGN.md §10).
 lint: build
 	dune exec bin/repro.exe -- lint
+
+# End-to-end serving smoke: serve on a temp socket, client analyze +
+# stats + graceful shutdown, served analyze `cmp`ed against the offline
+# CLI (DESIGN.md §11).
+serve-smoke: build
+	sh scripts/serve_smoke.sh
 
 test:
 	dune runtest

@@ -289,6 +289,101 @@ let run_online_report () =
     ((Unix.gettimeofday () -. r0) /. float_of_int reps *. 1000.0)
     (Array.length intervals)
 
+(* ----------------------------- serve RPC ---------------------------- *)
+
+(* Requests/sec and latency percentiles over a Unix socket, for a tiny
+   request (health: pure framing + dispatch) vs a cached analysis
+   (analyze on a warm server: framing + cache lookup + report render +
+   a multi-KB response).  The server child runs a serial pool so the
+   numbers isolate the RPC path, not analysis parallelism.
+
+   NOTE: the fork below must happen before anything in this process
+   spawns worker domains (fork only duplicates the calling thread, so a
+   child forked after Pool.shared has live domains would inherit a
+   wedged pool) — main therefore runs this phase first. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) rank))
+
+let run_serve_report () =
+  let sock = Filename.temp_file "repro_serve_bench" ".sock" in
+  Sys.remove sock;
+  match Unix.fork () with
+  | 0 ->
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      Unix.dup2 devnull Unix.stdout;
+      Unix.dup2 devnull Unix.stderr;
+      let cfg =
+        Serve.Server.config_of_analysis
+          { Fuzzy.Analysis.quick with Fuzzy.Analysis.jobs = 1 }
+      in
+      ignore (Serve.Server.run cfg (Serve.Server.Unix_socket sock));
+      exit 0
+  | pid -> (
+      let finish () =
+        (try Sys.remove sock with Sys_error _ -> ());
+        ignore (Unix.waitpid [] pid)
+      in
+      try
+        let conn = Serve.Client.connect ~retry_for:200 (Serve.Server.Unix_socket sock) in
+        let call req =
+          match Serve.Client.call conn req with
+          | Ok resp when not (Serve.Protocol.is_error resp) -> ()
+          | Ok resp -> failwith (Serve.Protocol.render_response resp)
+          | Error m -> failwith m
+        in
+        (* Warm the server's analysis cache: the analyze kernel measures
+           RPC + render on a cache hit, not the first analysis. *)
+        call (Serve.Protocol.Analyze "gzip");
+        let kernel name req n =
+          let lat = Array.make n 0.0 in
+          let w0 = Unix.gettimeofday () in
+          for i = 0 to n - 1 do
+            let s = Unix.gettimeofday () in
+            call req;
+            lat.(i) <- (Unix.gettimeofday () -. s) *. 1e6
+          done;
+          let dt = Unix.gettimeofday () -. w0 in
+          Array.sort compare lat;
+          (name, n, float_of_int n /. dt, percentile lat 50.0, percentile lat 99.0)
+        in
+        let rows =
+          [
+            kernel "health_small" Serve.Protocol.Health 2_000;
+            kernel "analyze_cached" (Serve.Protocol.Analyze "gzip") 300;
+          ]
+        in
+        call Serve.Protocol.Shutdown;
+        Serve.Client.close conn;
+        finish ();
+        print_endline "serve RPC (unix socket, serial server):";
+        List.iter
+          (fun (name, n, rps, p50, p99) ->
+            Printf.printf "  %-16s %9.0f req/s  p50 %8.1f us  p99 %8.1f us  (%d requests)\n"
+              name rps p50 p99 n)
+          rows;
+        let oc = open_out "BENCH_serve.json" in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            Printf.fprintf oc
+              "{\n  \"bench\": \"serve_rpc\",\n  \"transport\": \"unix_socket\",\n  \"kernels\": [\n";
+            List.iteri
+              (fun i (name, n, rps, p50, p99) ->
+                Printf.fprintf oc
+                  "    {\"name\": %S, \"requests\": %d, \"rps\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f}%s\n"
+                  name n rps p50 p99
+                  (if i = 1 then "" else ","))
+              rows;
+            Printf.fprintf oc "  ]\n}\n");
+        Printf.printf "[serve phase: wrote BENCH_serve.json]\n\n%!"
+      with Failure m ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error (_, _, _) -> ());
+        finish ();
+        Printf.printf "serve RPC bench failed: %s\n\n%!" m)
+
 (* -------------------------------- main ------------------------------ *)
 
 let jobs_of_args args =
@@ -308,6 +403,9 @@ let () =
   let experiments_only = List.mem "--experiments-only" args in
   let quick = List.mem "--quick" args in
   let jobs = jobs_of_args args in
+  (* Serve first: it forks a server child, which is only safe while no
+     worker domains have been spawned in this process. *)
+  if not experiments_only then run_serve_report ();
   if not bench_only then run_experiments (experiment_config ~quick ~jobs);
   if not experiments_only then begin
     let w0 = Unix.gettimeofday () in

@@ -112,25 +112,9 @@ let analyze_cmd =
             exit 1
         | _ ->
             let a = Fuzzy.Experiments.analyze_cached config name in
-            Format.printf "%a@." Fuzzy.Analysis.pp_summary a;
-            print_string (Fuzzy.Report.re_curve a.Fuzzy.Analysis.curve);
-            (* Which EIPs carry the CPI signal, if any. *)
-            let ds = Sampling.Eipv.dataset a.Fuzzy.Analysis.eipv in
-            let tree = Rtree.Tree.build ~max_leaves:a.Fuzzy.Analysis.kopt ds in
-            (match Rtree.Tree.feature_importance tree with
-            | [] -> print_endline "no EIP carries predictive signal (single chamber)"
-            | imp ->
-                print_endline "most CPI-predictive EIPs:";
-                List.iteri
-                  (fun i (f, share) ->
-                    if i < 5 then
-                      let eip = a.Fuzzy.Analysis.eipv.Sampling.Eipv.eip_of_feature.(f) in
-                      Printf.printf "  EIP 0x%x (region %d): %s of explained variance\n" eip
-                        (Workload.Code_map.eip_region eip)
-                        (Stats.Table.fmt_pct share))
-                  imp);
-            Printf.printf "recommended sampling technique: %s\n"
-              (Fuzzy.Techniques.to_string (Fuzzy.Techniques.recommend a.Fuzzy.Analysis.quadrant)))
+            (* One renderer shared with the serve Analyze RPC, so server
+               responses are byte-identical to this output. *)
+            print_string (Fuzzy.Report.analyze_report a))
       names
   in
   Cmd.v
@@ -257,6 +241,198 @@ let lint_cmd =
           any unwaived error.")
     Term.(const run $ json $ root $ rules $ waivers)
 
+let address_term =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Serve on (or connect to) the Unix-domain socket $(docv).  Default: repro.sock.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"N"
+          ~doc:"Serve on (or connect to) TCP port $(docv) on 127.0.0.1 instead of a socket.")
+  in
+  let build socket port =
+    match port with
+    | Some p -> Serve.Server.Tcp p
+    | None -> Serve.Server.Unix_socket (Option.value socket ~default:"repro.sock")
+  in
+  Term.(const build $ socket $ port)
+
+let serve_cmd =
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded heavy-request queue: beyond $(docv) waiting requests the server answers \
+             `overloaded' instead of queueing without bound.")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 32
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Connection cap; excess connections are refused with `busy'.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-request deadline: a request queued longer than $(docv) seconds answers \
+             `timeout' instead of running.  Deadlines only gate queue wait, so they never \
+             truncate a result.")
+  in
+  let status =
+    Arg.(
+      value & flag
+      & info [ "status" ]
+          ~doc:"Do not serve: query a running server's live metrics and exit.")
+  in
+  let run config address queue max_conns timeout status =
+    if status then
+      match
+        Serve.Client.with_connection address (fun c -> Serve.Client.call c Serve.Protocol.Stats)
+      with
+      | Ok resp ->
+          print_string (Serve.Protocol.render_response resp);
+          if Serve.Protocol.is_error resp then exit 1
+      | Error m ->
+          Printf.eprintf "status query failed: %s\n" m;
+          exit 1
+    else begin
+      let scfg = Serve.Server.config_of_analysis config in
+      let scfg =
+        {
+          scfg with
+          (* 0 is meaningful: every heavy request answers `overloaded',
+             which is how the backpressure path is tested. *)
+          Serve.Server.queue_capacity = max 0 queue;
+          max_connections = max 1 max_conns;
+          request_timeout = timeout;
+        }
+      in
+      (* Lifecycle chatter goes to stderr; stdout carries only the final
+         deterministic metrics snapshot. *)
+      let snapshot =
+        Serve.Server.run ~on_event:(fun m -> Printf.eprintf "repro-serve: %s\n%!" m) scfg address
+      in
+      print_string (Serve.Metrics.render snapshot)
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the analysis server: framed binary RPC over a Unix socket or TCP, heavy \
+          requests fanned out onto the shared worker pool with bounded queueing, \
+          batching of identical in-flight requests, per-request deadlines and live \
+          metrics.  Responses are byte-identical to the offline commands for every \
+          --jobs value.")
+    Term.(const run $ config_term $ address_term $ queue $ max_conns $ timeout $ status)
+
+let client_cmd =
+  let args =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "One of: analyze WORKLOAD, quadrant WORKLOAD, re-curve WORKLOAD, ingest \
+             WORKLOAD, stats, health, shutdown.")
+  in
+  let wait =
+    Arg.(
+      value & flag
+      & info [ "wait" ]
+          ~doc:"Retry the connection while the server is still starting up (5 s of attempts).")
+  in
+  let fail msg =
+    Printf.eprintf "repro-client: %s\n" msg;
+    exit 1
+  in
+  let print_response resp =
+    print_string (Serve.Protocol.render_response resp);
+    if Serve.Protocol.is_error resp then exit 1
+  in
+  let simple_call conn req =
+    match Serve.Client.call conn req with
+    | Ok resp -> print_response resp
+    | Error m -> fail m
+  in
+  (* Client-side ingestion: generate the workload's sample stream locally
+     (same (seed, name) derivation as the offline and stream paths) and
+     feed it over the wire in batches, printing the verdict trace the
+     server returns, then the final fit. *)
+  let ingest config conn name =
+    match Workload.Catalog.find name with
+    | exception Not_found -> fail (Printf.sprintf "unknown workload %S; try `repro workloads`" name)
+    | entry ->
+        let model =
+          entry.Workload.Catalog.build ~seed:config.Fuzzy.Analysis.seed
+            ~scale:config.Fuzzy.Analysis.scale
+        in
+        (match Serve.Client.call conn (Serve.Protocol.Ingest_open name) with
+        | Ok (Serve.Protocol.Ingest_ack _) -> ()
+        | Ok resp -> print_response resp
+        | Error m -> fail m);
+        let cpu = March.Cpu.create config.Fuzzy.Analysis.machine in
+        let rng = Stats.Rng.split_label config.Fuzzy.Analysis.seed name in
+        let samples =
+          config.Fuzzy.Analysis.intervals * config.Fuzzy.Analysis.samples_per_interval
+        in
+        let batch = ref [] in
+        let batch_len = ref 0 in
+        let flush () =
+          if !batch_len > 0 then begin
+            let chunk = List.rev !batch in
+            batch := [];
+            batch_len := 0;
+            match Serve.Client.call conn (Serve.Protocol.Ingest_feed chunk) with
+            | Ok (Serve.Protocol.Verdicts _ as resp) ->
+                print_string (Serve.Protocol.render_response resp)
+            | Ok resp -> print_response resp
+            | Error m -> fail m
+          end
+        in
+        let _meta =
+          Sampling.Driver.stream ~period:config.Fuzzy.Analysis.period model ~cpu ~rng ~samples
+            ~f:(fun _ s ->
+              batch := s :: !batch;
+              incr batch_len;
+              if !batch_len >= config.Fuzzy.Analysis.samples_per_interval then flush ())
+        in
+        flush ();
+        simple_call conn Serve.Protocol.Ingest_finalize
+  in
+  let run config address wait args =
+    let retry_for = if wait then 100 else 0 in
+    Serve.Client.with_connection ~retry_for address (fun conn ->
+        match args with
+        | [ "analyze"; w ] -> simple_call conn (Serve.Protocol.Analyze w)
+        | [ "quadrant"; w ] -> simple_call conn (Serve.Protocol.Quadrant w)
+        | [ "re-curve"; w ] -> simple_call conn (Serve.Protocol.Re_curve w)
+        | [ "ingest"; w ] -> ingest config conn w
+        | [ "stats" ] -> simple_call conn Serve.Protocol.Stats
+        | [ "health" ] -> simple_call conn Serve.Protocol.Health
+        | [ "shutdown" ] -> simple_call conn Serve.Protocol.Shutdown
+        | other ->
+            fail
+              (Printf.sprintf
+                 "unknown request %S; expected analyze|quadrant|re-curve|ingest WORKLOAD, or \
+                  stats|health|shutdown"
+                 (String.concat " " other)))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running analysis server and print the response.  `analyze' \
+          output is byte-identical to `repro analyze' under the same configuration.")
+    Term.(const run $ config_term $ address_term $ wait $ args)
+
 let workloads_cmd =
   let run () =
     Array.iter
@@ -283,4 +459,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; all_cmd; analyze_cmd; stream_cmd; workloads_cmd; lint_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            all_cmd;
+            analyze_cmd;
+            stream_cmd;
+            serve_cmd;
+            client_cmd;
+            workloads_cmd;
+            lint_cmd;
+          ]))

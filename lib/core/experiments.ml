@@ -41,6 +41,13 @@ let analyze_cached config name =
           Mutex.unlock cache_mutex;
           a)
 
+let cached config name =
+  let key = cache_key config name in
+  Mutex.lock cache_mutex;
+  let hit = Hashtbl.mem cache key in
+  Mutex.unlock cache_mutex;
+  hit
+
 let clear_cache () =
   Mutex.lock cache_mutex;
   Hashtbl.reset cache;

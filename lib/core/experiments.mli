@@ -24,6 +24,11 @@ val analyze_cached : Analysis.config -> string -> Analysis.t
     identical for every jobs value).  Thread-safe: the cache is
     mutex-guarded so pool workers can share it. *)
 
+val cached : Analysis.config -> string -> bool
+(** Whether {!analyze_cached} would hit for this (config, workload) —
+    the analysis server's cache hit/miss metric.  Like the cache key,
+    [jobs] is ignored. *)
+
 val analyze_many : Analysis.config -> string list -> Analysis.t list
 (** Analyze several catalog workloads concurrently on the shared pool for
     [config.jobs], returning results in input order.  Each workload draws

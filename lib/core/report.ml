@@ -193,6 +193,35 @@ let interval_table (rows : Robustness.interval_row list) =
          rows)
     ()
 
+(* The single source of truth for what "analyzing a workload" prints:
+   `repro analyze` and the serve Analyze RPC both emit exactly this
+   string, which is what lets the test suite compare them with cmp. *)
+let analyze_report (a : Analysis.t) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Format.asprintf "%a@." Analysis.pp_summary a);
+  Buffer.add_string b (re_curve a.Analysis.curve);
+  (* Which EIPs carry the CPI signal, if any. *)
+  let ds = Sampling.Eipv.dataset a.Analysis.eipv in
+  let tree = Rtree.Tree.build ~max_leaves:a.Analysis.kopt ds in
+  (match Rtree.Tree.feature_importance tree with
+  | [] -> Buffer.add_string b "no EIP carries predictive signal (single chamber)\n"
+  | imp ->
+      Buffer.add_string b "most CPI-predictive EIPs:\n";
+      List.iteri
+        (fun i (f, share) ->
+          if i < 5 then
+            let eip = a.Analysis.eipv.Sampling.Eipv.eip_of_feature.(f) in
+            Buffer.add_string b
+              (Printf.sprintf "  EIP 0x%x (region %d): %s of explained variance\n"
+                 eip
+                 (Workload.Code_map.eip_region eip)
+                 (Table.fmt_pct share)))
+        imp);
+  Buffer.add_string b
+    (Printf.sprintf "recommended sampling technique: %s\n"
+       (Techniques.to_string (Techniques.recommend a.Analysis.quadrant)));
+  Buffer.contents b
+
 let re_curve_csv (c : Rtree.Cv.curve) =
   let b = Buffer.create 512 in
   Buffer.add_string b "k,re\n";

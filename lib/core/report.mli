@@ -32,6 +32,12 @@ val comparison_table : Compare.t list -> string
 val machine_table : Robustness.machine_row list -> string
 val interval_table : Robustness.interval_row list -> string
 
+val analyze_report : Analysis.t -> string
+(** The full per-workload report `repro analyze` prints: summary line,
+    RE curve, most CPI-predictive EIPs and the recommended sampling
+    technique.  The serve [Analyze] RPC returns exactly this string, so
+    online and offline output can be compared byte-for-byte. *)
+
 val re_curve_csv : Rtree.Cv.curve -> string
 (** "k,re\n" rows for external plotting. *)
 

@@ -1,15 +1,31 @@
 (* Format (text, line-oriented):
-     line 1: "fuzzytrace 1 <workload> <machine> <period> <ctx> <io> <os>
+     line 1: "fuzzytrace 2 <workload> <machine> <period> <ctx> <io> <os>
               <total_instrs> <total_cycles> <n_samples>"
      then one line per sample:
      "<eip> <tid> <instrs> <cycles> <work> <fe> <exe> <other> <os_instrs>
       <nregions> (<region> <instrs>)*"
-   Floats are printed with %h (hex floats) so round-trips are exact. *)
+     last line: "fuzzytrace-end <body_bytes> <adler32>"
+   Floats are printed with %h (hex floats) so round-trips are exact.  The
+   trailer declares the byte length and Adler-32 checksum of everything
+   before it, so a truncated or bit-flipped archive is rejected with a
+   clear error before any line is decoded. *)
 
-let version = 1
+let version = 2
 
-let write_run oc (run : Driver.run) =
-  Printf.fprintf oc "fuzzytrace %d %s %s %d %d %d %d %d %h %d\n" version
+(* Adler-32 (RFC 1950) — same checksum the serve wire format uses, kept
+   local because lib/serve depends on this library, not vice versa. *)
+let adler32 s =
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod 65521;
+      b := (!b + !a) mod 65521)
+    s;
+  (!b lsl 16) lor !a
+
+let render_run (run : Driver.run) =
+  let buf = Buffer.create 65536 in
+  Printf.bprintf buf "fuzzytrace %d %s %s %d %d %d %d %d %h %d\n" version
     run.Driver.workload run.Driver.machine run.Driver.period run.Driver.context_switches
     run.Driver.io_blocks run.Driver.os_instr_total run.Driver.total_instrs
     run.Driver.total_cycles
@@ -17,13 +33,14 @@ let write_run oc (run : Driver.run) =
   Array.iter
     (fun (s : Driver.sample) ->
       let b = s.Driver.breakdown in
-      Printf.fprintf oc "%d %d %d %h %h %h %h %h %d %d" s.Driver.eip s.Driver.tid
+      Printf.bprintf buf "%d %d %d %h %h %h %h %h %d %d" s.Driver.eip s.Driver.tid
         s.Driver.instrs s.Driver.cycles b.March.Breakdown.work b.March.Breakdown.fe
         b.March.Breakdown.exe b.March.Breakdown.other s.Driver.os_instrs
         (Array.length s.Driver.region_instrs);
-      Array.iter (fun (r, n) -> Printf.fprintf oc " %d %d" r n) s.Driver.region_instrs;
-      output_char oc '\n')
-    run.Driver.samples
+      Array.iter (fun (r, n) -> Printf.bprintf buf " %d %d" r n) s.Driver.region_instrs;
+      Buffer.add_char buf '\n')
+    run.Driver.samples;
+  Buffer.contents buf
 
 let save (run : Driver.run) ~path =
   (* Write to a temp file in the target directory and rename into place:
@@ -31,11 +48,15 @@ let save (run : Driver.run) ~path =
      [load] would then reject.  Same-directory rename keeps the move
      atomic (no cross-filesystem copy). *)
   let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) ".fuzzytrace" ".tmp" in
-  let oc = open_out tmp in
+  let oc = open_out_bin tmp in
   (try
      Fun.protect
        ~finally:(fun () -> close_out oc)
-       (fun () -> write_run oc run)
+       (fun () ->
+         let body = render_run run in
+         output_string oc body;
+         Printf.fprintf oc "fuzzytrace-end %d %d\n" (String.length body)
+           (adler32 body))
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
@@ -43,59 +64,100 @@ let save (run : Driver.run) ~path =
 
 let fail_fmt fmt = Printf.ksprintf failwith fmt
 
+(* Validate the trailer and return the body it covers.  Every corruption
+   mode gets its own message: missing/garbled trailer (foreign file or
+   cut off mid-line), length mismatch (truncated or grown) and checksum
+   mismatch (bit flips with the length intact). *)
+let checked_body ~path content =
+  let len = String.length content in
+  if len = 0 then fail_fmt "Trace_io.load: %s: empty file" path;
+  if content.[len - 1] <> '\n' then
+    fail_fmt "Trace_io.load: %s: truncated (no final newline)" path;
+  let trailer_start =
+    match String.rindex_from_opt content (len - 2) '\n' with
+    | Some i -> i + 1
+    | None -> 0
+  in
+  let trailer = String.sub content trailer_start (len - 1 - trailer_start) in
+  let body = String.sub content 0 trailer_start in
+  let declared_len, declared_sum =
+    try Scanf.sscanf trailer "fuzzytrace-end %d %d%!" (fun a b -> (a, b))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      fail_fmt "Trace_io.load: %s: missing end-of-trace trailer (truncated or not a trace)"
+        path
+  in
+  if String.length body <> declared_len then
+    fail_fmt "Trace_io.load: %s: truncated: %d body bytes, trailer declares %d" path
+      (String.length body) declared_len;
+  let sum = adler32 body in
+  if sum <> declared_sum then
+    fail_fmt "Trace_io.load: %s: checksum mismatch (corrupt trace): %#x, trailer declares %#x"
+      path sum declared_sum;
+  body
+
 let load ~path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let header = input_line ic in
-      let workload, machine, period, ctx, io, os, total_instrs, total_cycles, n =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let body = checked_body ~path content in
+  let lines = String.split_on_char '\n' body in
+  let header, sample_lines =
+    match lines with
+    | h :: rest -> (h, Array.of_list rest)
+    | [] -> fail_fmt "Trace_io.load: %s: no header" path
+  in
+  let workload, machine, period, ctx, io, os, total_instrs, total_cycles, n =
+    try
+      Scanf.sscanf header "fuzzytrace %d %s %s %d %d %d %d %d %h %d"
+        (fun v workload machine period ctx io os ti tc n ->
+          if v <> version then
+            fail_fmt "Trace_io.load: version %d, expected %d" v version;
+          (workload, machine, period, ctx, io, os, ti, tc, n))
+    with Scanf.Scan_failure m | Failure m -> fail_fmt "Trace_io.load: bad header: %s" m
+  in
+  (* The split of a '\n'-terminated body ends with one empty element. *)
+  if Array.length sample_lines < n + 1 then
+    fail_fmt "Trace_io.load: %d sample lines, header declares %d"
+      (Array.length sample_lines - 1)
+      n;
+  let samples =
+    Array.init n (fun i ->
+        let line = sample_lines.(i) in
         try
-          Scanf.sscanf header "fuzzytrace %d %s %s %d %d %d %d %d %h %d"
-            (fun v workload machine period ctx io os ti tc n ->
-              if v <> version then
-                fail_fmt "Trace_io.load: version %d, expected %d" v version;
-              (workload, machine, period, ctx, io, os, ti, tc, n))
-        with Scanf.Scan_failure m | Failure m -> fail_fmt "Trace_io.load: bad header: %s" m
-      in
-      let samples =
-        Array.init n (fun i ->
-            let line =
-              try input_line ic
-              with End_of_file -> fail_fmt "Trace_io.load: truncated at sample %d" i
-            in
-            try
-              Scanf.sscanf line "%d %d %d %h %h %h %h %h %d %d %n"
-                (fun eip tid instrs cycles work fe exe other os_instrs nregions pos ->
-                  let rest = String.sub line pos (String.length line - pos) in
-                  let fields =
-                    List.filter (fun s -> s <> "") (String.split_on_char ' ' rest)
-                  in
-                  if List.length fields <> 2 * nregions then
-                    fail_fmt "Trace_io.load: sample %d region arity" i;
-                  let arr = Array.of_list (List.map int_of_string fields) in
-                  let region_instrs =
-                    Array.init nregions (fun k -> (arr.(2 * k), arr.((2 * k) + 1)))
-                  in
-                  {
-                    Driver.eip;
-                    tid;
-                    instrs;
-                    cycles;
-                    breakdown = { March.Breakdown.work; fe; exe; other };
-                    os_instrs;
-                    region_instrs;
-                  })
-            with Scanf.Scan_failure m -> fail_fmt "Trace_io.load: sample %d: %s" i m)
-      in
-      {
-        Driver.workload;
-        machine;
-        samples;
-        period;
-        context_switches = ctx;
-        io_blocks = io;
-        os_instr_total = os;
-        total_instrs;
-        total_cycles;
-      })
+          Scanf.sscanf line "%d %d %d %h %h %h %h %h %d %d %n"
+            (fun eip tid instrs cycles work fe exe other os_instrs nregions pos ->
+              let rest = String.sub line pos (String.length line - pos) in
+              let fields =
+                List.filter (fun s -> s <> "") (String.split_on_char ' ' rest)
+              in
+              if List.length fields <> 2 * nregions then
+                fail_fmt "Trace_io.load: sample %d region arity" i;
+              let arr = Array.of_list (List.map int_of_string fields) in
+              let region_instrs =
+                Array.init nregions (fun k -> (arr.(2 * k), arr.((2 * k) + 1)))
+              in
+              {
+                Driver.eip;
+                tid;
+                instrs;
+                cycles;
+                breakdown = { March.Breakdown.work; fe; exe; other };
+                os_instrs;
+                region_instrs;
+              })
+        with Scanf.Scan_failure m -> fail_fmt "Trace_io.load: sample %d: %s" i m)
+  in
+  {
+    Driver.workload;
+    machine;
+    samples;
+    period;
+    context_switches = ctx;
+    io_blocks = io;
+    os_instr_total = os;
+    total_instrs;
+    total_cycles;
+  }

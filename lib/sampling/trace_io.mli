@@ -14,8 +14,13 @@ val save : Driver.run -> path:string -> unit
     {!Rvec}) are preserved.  The write is crash-safe: data goes to a
     temporary file in [path]'s directory which is atomically renamed
     into place, so an interrupted save never leaves a truncated archive
-    that {!load} would reject. *)
+    that {!load} would reject.  The archive ends with a trailer
+    declaring the byte length and Adler-32 checksum of everything
+    before it. *)
 
 val load : path:string -> Driver.run
-(** Raises [Failure] with a descriptive message on version mismatch or a
-    malformed line. *)
+(** Raises [Failure] with a descriptive message — never a bare decode
+    exception — on a truncated file (trailer missing or length short),
+    a corrupted file (checksum mismatch), a version mismatch or a
+    malformed line.  The whole file is validated against the trailer
+    before any sample is decoded. *)

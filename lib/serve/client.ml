@@ -1,0 +1,67 @@
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+let sockaddr_of = function
+  | Server.Unix_socket path -> Unix.ADDR_UNIX path
+  | Server.Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+(* Attempt-counted retries (not clock-based: D002 keeps wall-clock reads
+   out of everything but Clock and bench/). *)
+let connect ?(retry_for = 0) address =
+  let addr = sockaddr_of address in
+  let attempt () =
+    let fd =
+      Unix.socket ~cloexec:true
+        (Unix.domain_of_sockaddr addr)
+        Unix.SOCK_STREAM 0
+    in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+        raise e
+  in
+  let rec go tries_left =
+    match attempt () with
+    | fd -> fd
+    | exception
+        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when tries_left > 0 ->
+        Unix.sleepf 0.05;
+        go (tries_left - 1)
+  in
+  { fd = go retry_for; open_ = true }
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+  end
+
+let call_raw t req =
+  if not t.open_ then Error "connection is closed"
+  else
+    match Wire.write_frame t.fd (Protocol.encode_request req) with
+    | () -> (
+        match Wire.read_frame t.fd with
+        | Ok payload -> Ok payload
+        | Error e -> Error (Wire.error_to_string e))
+    | exception Unix.Unix_error (err, _, _) ->
+        Error (Printf.sprintf "write failed: %s" (Unix.error_message err))
+
+let call t req =
+  match call_raw t req with
+  | Error _ as e -> e
+  | Ok payload -> (
+      match Protocol.decode_response payload with
+      | Ok _ as ok -> ok
+      | Error m -> Error (Printf.sprintf "bad response payload: %s" m))
+
+let with_connection ?retry_for address f =
+  let t = connect ?retry_for address in
+  match f t with
+  | v ->
+      close t;
+      v
+  | exception e ->
+      close t;
+      raise e

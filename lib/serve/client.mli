@@ -1,0 +1,32 @@
+(** Blocking client for the analysis server: connect, exchange framed
+    {!Protocol} messages one at a time, close.
+
+    The client is deliberately dumb — encode, write, read, decode — so
+    the bytes on the wire are exactly {!Protocol.encode_request} and the
+    response bytes can be compared across servers with [cmp]
+    ({!call_raw} exposes them for the byte-equality tests). *)
+
+type t
+
+val connect : ?retry_for:int -> Server.address -> t
+(** Open a connection.  [retry_for] (default 0) retries up to that many
+    times at 50 ms intervals while the server is still coming up
+    (connection refused / socket file not yet bound) — used by tests and
+    the CLI's [--wait] flag.
+
+    @raise Unix.Unix_error when the (final) attempt fails. *)
+
+val call : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and block for its response.  [Error _] means a
+    transport or decode failure (the server's typed failures arrive as
+    [Ok (Protocol.Error _)]). *)
+
+val call_raw : t -> Protocol.request -> (string, string) result
+(** Like {!call} but returns the raw response payload bytes, undecoded —
+    the unit of the jobs-equivalence byte-equality tests. *)
+
+val close : t -> unit
+
+val with_connection :
+  ?retry_for:int -> Server.address -> (t -> 'a) -> 'a
+(** Connect, run, close (also on exception). *)

@@ -1,0 +1,10 @@
+(* The one blessed wall-clock read of the serving layer (see clock.mli and
+   the D002 rule in Lint.Rules_det).  Deadline timers are pure control
+   flow: they decide *whether* a request is answered with a Timeout error,
+   never *what* an analytic payload contains, so determinism of response
+   bytes is preserved. *)
+
+let now () = Unix.gettimeofday ()
+
+let expired ~deadline =
+  match deadline with None -> false | Some d -> now () >= d

@@ -1,0 +1,20 @@
+(** The serving layer's one sanctioned clock.
+
+    The D002 lint rule bans wall-clock reads outside [bench/] because
+    analysis results must be pure functions of (config, seed).  The
+    server, however, legitimately needs time for {e control flow}:
+    request deadlines, queue-wait expiry and drain timeouts.  This module
+    is the single blessed call site (the D002 analogue of [Stats.Rng] for
+    D001 and [Stats.Det] for D003): every clock read in [lib/serve] goes
+    through {!now}, and none of the values ever feed an analytic result —
+    a timed-out request is answered with a [Timeout] {e error}, never
+    with partial data, so response payloads stay bit-identical across
+    machines, loads and [--jobs] values. *)
+
+val now : unit -> float
+(** Seconds since the Unix epoch, as a float.  Used only to arm and test
+    request deadlines; never recorded in responses or metrics. *)
+
+val expired : deadline:float option -> bool
+(** [expired ~deadline] is [true] when [deadline] is [Some d] and the
+    clock has passed [d].  [None] never expires. *)

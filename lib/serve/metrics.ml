@@ -1,0 +1,107 @@
+(* Counters only — anything time-shaped is banished to bench/ so the
+   stats RPC stays a deterministic function of the request history. *)
+
+type t = {
+  mutable connections_accepted : int;
+  mutable connections_active : int;
+  mutable connections_refused : int;
+  mutable requests_total : int;
+  by_kind : (string, int) Hashtbl.t;
+  mutable responses_ok : int;
+  by_error : (string, int) Hashtbl.t;
+  mutable batch_joined : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable queue_high_water : int;
+  mutable inflight_high_water : int;
+}
+
+type snapshot = {
+  connections_accepted : int;
+  connections_active : int;
+  connections_refused : int;
+  requests_total : int;
+  requests_by_kind : (string * int) list;
+  responses_ok : int;
+  responses_error : (string * int) list;
+  batch_joined : int;
+  cache_hits : int;
+  cache_misses : int;
+  queue_high_water : int;
+  inflight_high_water : int;
+}
+
+let create () =
+  {
+    connections_accepted = 0;
+    connections_active = 0;
+    connections_refused = 0;
+    requests_total = 0;
+    by_kind = Hashtbl.create 8;
+    responses_ok = 0;
+    by_error = Hashtbl.create 8;
+    batch_joined = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    queue_high_water = 0;
+    inflight_high_water = 0;
+  }
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let incr_accepted (t : t) = t.connections_accepted <- t.connections_accepted + 1
+let incr_refused (t : t) = t.connections_refused <- t.connections_refused + 1
+let set_active (t : t) n = t.connections_active <- n
+
+let incr_request (t : t) ~kind =
+  t.requests_total <- t.requests_total + 1;
+  bump t.by_kind kind
+
+let incr_ok (t : t) = t.responses_ok <- t.responses_ok + 1
+let incr_error (t : t) ~code = bump t.by_error code
+let incr_batch_joined (t : t) = t.batch_joined <- t.batch_joined + 1
+let incr_cache_hit (t : t) = t.cache_hits <- t.cache_hits + 1
+let incr_cache_miss (t : t) = t.cache_misses <- t.cache_misses + 1
+
+let observe_queue_depth (t : t) n =
+  if n > t.queue_high_water then t.queue_high_water <- n
+
+let observe_inflight (t : t) n =
+  if n > t.inflight_high_water then t.inflight_high_water <- n
+
+let snapshot (t : t) =
+  {
+    connections_accepted = t.connections_accepted;
+    connections_active = t.connections_active;
+    connections_refused = t.connections_refused;
+    requests_total = t.requests_total;
+    (* Key-sorted traversal (D003): the snapshot must not depend on
+       hash-bucket order. *)
+    requests_by_kind = Stats.Det.hashtbl_bindings t.by_kind;
+    responses_ok = t.responses_ok;
+    responses_error = Stats.Det.hashtbl_bindings t.by_error;
+    batch_joined = t.batch_joined;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+    queue_high_water = t.queue_high_water;
+    inflight_high_water = t.inflight_high_water;
+  }
+
+let render (s : snapshot) =
+  let b = Buffer.create 512 in
+  let line k v = Printf.bprintf b "  %-28s %d\n" k v in
+  Buffer.add_string b "serve metrics\n";
+  line "connections.accepted" s.connections_accepted;
+  line "connections.active" s.connections_active;
+  line "connections.refused" s.connections_refused;
+  line "requests.total" s.requests_total;
+  List.iter (fun (k, v) -> line ("requests." ^ k) v) s.requests_by_kind;
+  line "responses.ok" s.responses_ok;
+  List.iter (fun (k, v) -> line ("responses.error." ^ k) v) s.responses_error;
+  line "batch.joined" s.batch_joined;
+  line "cache.hits" s.cache_hits;
+  line "cache.misses" s.cache_misses;
+  line "queue.high_water" s.queue_high_water;
+  line "inflight.high_water" s.inflight_high_water;
+  Buffer.contents b

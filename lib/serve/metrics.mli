@@ -1,0 +1,50 @@
+(** Deterministic serving metrics: counters and gauges with no clocks and
+    no rates.
+
+    Everything here is a pure function of the request history the server
+    has processed — no timestamps, no durations, no load averages — so a
+    scripted client session produces a byte-identical [stats] response on
+    every run and every [--jobs] value.  (Latency numbers live in
+    [bench/], where wall-clock reads are sanctioned.)
+
+    The server mutates a [t] from its single IO thread only; snapshots
+    are plain immutable records carried over the [stats] RPC. *)
+
+type t
+
+type snapshot = {
+  connections_accepted : int;
+  connections_active : int;  (** gauge: currently open sessions *)
+  connections_refused : int;  (** turned away at the max-connections cap *)
+  requests_total : int;
+  requests_by_kind : (string * int) list;  (** sorted by kind *)
+  responses_ok : int;
+  responses_error : (string * int) list;  (** error code -> count, sorted *)
+  batch_joined : int;
+      (** requests answered by subscribing to an identical in-flight
+          computation instead of queueing their own *)
+  cache_hits : int;  (** analysis cache already held the workload *)
+  cache_misses : int;
+  queue_high_water : int;  (** deepest the bounded request queue has been *)
+  inflight_high_water : int;  (** most pool tasks outstanding at once *)
+}
+
+val create : unit -> t
+
+val incr_accepted : t -> unit
+val incr_refused : t -> unit
+val set_active : t -> int -> unit
+val incr_request : t -> kind:string -> unit
+val incr_ok : t -> unit
+val incr_error : t -> code:string -> unit
+val incr_batch_joined : t -> unit
+val incr_cache_hit : t -> unit
+val incr_cache_miss : t -> unit
+val observe_queue_depth : t -> int -> unit
+val observe_inflight : t -> int -> unit
+
+val snapshot : t -> snapshot
+
+val render : snapshot -> string
+(** Fixed-format table, one metric per line, keys sorted — the output of
+    [repro serve --status] and [repro client stats]. *)

@@ -1,0 +1,480 @@
+type address = Unix_socket of string | Tcp of int
+
+type config = {
+  analysis : Fuzzy.Analysis.config;
+  pipeline : Online.Pipeline.config;
+  queue_capacity : int;
+  max_connections : int;
+  request_timeout : float option;
+  max_payload : int;
+}
+
+let config_of_analysis analysis =
+  {
+    analysis;
+    pipeline = { Online.Pipeline.default with analysis };
+    queue_capacity = 64;
+    max_connections = 32;
+    request_timeout = None;
+    max_payload = Wire.default_max_payload;
+  }
+
+let describe_address = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp port -> Printf.sprintf "tcp:127.0.0.1:%d" port
+
+(* One queued-or-batched heavy request.  [key] is the encoded request —
+   two requests with equal bytes are the same work, so later arrivals
+   join [subscribers] instead of queueing a second copy. *)
+type pending = {
+  key : string;
+  work : unit -> Protocol.response;
+  mutable subscribers : (int * int) list;  (* (connection id, seq) *)
+  deadline : float option;
+  mutable cancelled : bool;
+}
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off remaining =
+    if remaining > 0 then
+      match Unix.write_substring fd s off remaining with
+      | n -> go (off + n) (remaining - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off remaining
+  in
+  go 0 len
+
+let close_quietly fd =
+  try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+let listen_socket address =
+  match address with
+  | Unix_socket path ->
+      (match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } ->
+          (* A previous server died without cleaning up; the bind below
+             would fail on the stale node. *)
+          Unix.unlink path
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp port ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen fd 64;
+      fd
+
+let run ?(on_event = fun _ -> ()) cfg address =
+  let metrics = Metrics.create () in
+  let pool = Fuzzy.Analysis.pool cfg.analysis in
+  let max_inflight = Parallel.Pool.jobs pool in
+  let sessions : (int, Session.t) Hashtbl.t = Hashtbl.create 16 in
+  let by_key : (string, pending) Hashtbl.t = Hashtbl.create 16 in
+  let waiting : pending Queue.t = Queue.create () in
+  let waiting_count = ref 0 in
+  let inflight = ref 0 in
+  let draining = ref false in
+  let next_conn_id = ref 0 in
+  (* Pool workers finish here; the IO thread drains after a wake byte. *)
+  let completions : (string * Protocol.response) Queue.t = Queue.create () in
+  let completions_mutex = Mutex.create () in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  let wake () =
+    try ignore (Unix.write_substring wake_w "x" 0 1)
+    with Unix.Unix_error (_, _, _) -> ()
+  in
+  let stop_signal _ = draining := true in
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle stop_signal) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop_signal) in
+  let listen_fd = listen_socket address in
+  on_event
+    (Printf.sprintf "listening on %s (jobs=%d, queue=%d, max-conns=%d)"
+       (describe_address address) cfg.analysis.Fuzzy.Analysis.jobs
+       cfg.queue_capacity cfg.max_connections);
+
+  let sorted_sessions () =
+    List.map snd (Stats.Det.hashtbl_bindings sessions)
+  in
+  let drop_session sess =
+    Hashtbl.remove sessions (Session.id sess);
+    close_quietly (Session.fd sess);
+    Metrics.set_active metrics (Hashtbl.length sessions)
+  in
+  let count_response resp =
+    match resp with
+    | Protocol.Error { code; _ } ->
+        Metrics.incr_error metrics ~code:(Protocol.error_code_to_string code)
+    | Protocol.Report _ | Protocol.Quadrant_verdict _ | Protocol.Curve _
+    | Protocol.Verdicts _ | Protocol.Ingest_ack _ | Protocol.Ingest_final _
+    | Protocol.Stats_snapshot _ | Protocol.Health_ok _ | Protocol.Shutdown_ack
+      ->
+        Metrics.incr_ok metrics
+  in
+  let respond sess seq resp =
+    count_response resp;
+    Session.put_response sess ~seq (Wire.encode (Protocol.encode_response resp))
+  in
+  (* Deliver one finished pending to every subscriber still connected.
+     The response is encoded once; subscribers share the frame bytes. *)
+  let deliver p resp =
+    Hashtbl.remove by_key p.key;
+    let frame = Wire.encode (Protocol.encode_response resp) in
+    List.iter
+      (fun (conn_id, seq) ->
+        match Hashtbl.find_opt sessions conn_id with
+        | None -> ()  (* subscriber hung up while the work ran *)
+        | Some sess ->
+            count_response resp;
+            Session.put_response sess ~seq frame)
+      (List.rev p.subscribers)
+  in
+  let work_for req name () =
+    match req with
+    | Protocol.Analyze _ ->
+        Protocol.Report
+          (Fuzzy.Report.analyze_report
+             (Fuzzy.Experiments.analyze_cached cfg.analysis name))
+    | Protocol.Quadrant _ ->
+        let a = Fuzzy.Experiments.analyze_cached cfg.analysis name in
+        Protocol.Quadrant_verdict
+          {
+            workload = name;
+            quadrant = a.Fuzzy.Analysis.quadrant;
+            cpi_variance = a.Fuzzy.Analysis.cpi_variance;
+            re_kopt = a.Fuzzy.Analysis.re_kopt;
+            kopt = a.Fuzzy.Analysis.kopt;
+            technique =
+              Fuzzy.Techniques.(to_string (recommend a.Fuzzy.Analysis.quadrant));
+          }
+    | Protocol.Re_curve _ ->
+        let a = Fuzzy.Experiments.analyze_cached cfg.analysis name in
+        Protocol.Curve { workload = name; curve = a.Fuzzy.Analysis.curve }
+    | Protocol.Ingest_open _ | Protocol.Ingest_feed _ | Protocol.Ingest_finalize
+    | Protocol.Stats | Protocol.Health | Protocol.Shutdown ->
+        (* Never queued: these are handled inline at parse time. *)
+        Protocol.Error { code = Protocol.Failed; message = "not a pooled request" }
+  in
+  let enqueue_heavy sess seq req name =
+    match Workload.Catalog.find name with
+    | exception Not_found ->
+        respond sess seq
+          (Protocol.Error
+             {
+               code = Protocol.Unknown_workload;
+               message = Printf.sprintf "unknown workload %S" name;
+             })
+    | _entry -> (
+        if !draining then
+          respond sess seq
+            (Protocol.Error
+               { code = Protocol.Overloaded; message = "server is draining" })
+        else
+          let key = Protocol.encode_request req in
+          match Hashtbl.find_opt by_key key with
+          | Some p ->
+              (* Identical request already queued or running: batch. *)
+              Metrics.incr_batch_joined metrics;
+              p.subscribers <- (Session.id sess, seq) :: p.subscribers
+          | None ->
+              if !waiting_count >= cfg.queue_capacity then
+                respond sess seq
+                  (Protocol.Error
+                     {
+                       code = Protocol.Overloaded;
+                       message =
+                         Printf.sprintf "request queue is full (capacity %d)"
+                           cfg.queue_capacity;
+                     })
+              else begin
+                if Fuzzy.Experiments.cached cfg.analysis name then
+                  Metrics.incr_cache_hit metrics
+                else Metrics.incr_cache_miss metrics;
+                let deadline =
+                  Option.map (fun s -> Clock.now () +. s) cfg.request_timeout
+                in
+                let p =
+                  {
+                    key;
+                    work = work_for req name;
+                    subscribers = [ (Session.id sess, seq) ];
+                    deadline;
+                    cancelled = false;
+                  }
+                in
+                Hashtbl.replace by_key key p;
+                Queue.push p waiting;
+                incr waiting_count;
+                Metrics.observe_queue_depth metrics !waiting_count
+              end)
+  in
+  let handle sess req =
+    let seq = Session.alloc_seq sess in
+    Metrics.incr_request metrics ~kind:(Protocol.request_kind req);
+    match req with
+    | Protocol.Health ->
+        respond sess seq
+          (Protocol.Health_ok
+             {
+               version = Wire.version;
+               jobs = cfg.analysis.Fuzzy.Analysis.jobs;
+               workloads = Array.length Workload.Catalog.all;
+             })
+    | Protocol.Stats ->
+        respond sess seq (Protocol.Stats_snapshot (Metrics.snapshot metrics))
+    | Protocol.Shutdown ->
+        draining := true;
+        on_event "shutdown requested; draining";
+        respond sess seq Protocol.Shutdown_ack;
+        Session.mark_close sess
+    | Protocol.Ingest_open name -> (
+        match Session.pipeline sess with
+        | Some _ ->
+            respond sess seq
+              (Protocol.Error
+                 {
+                   code = Protocol.Failed;
+                   message = "an ingest stream is already open on this connection";
+                 })
+        | None ->
+            Session.open_pipeline sess
+              (Online.Pipeline.create ~name cfg.pipeline);
+            respond sess seq (Protocol.Ingest_ack name))
+    | Protocol.Ingest_feed samples -> (
+        match Session.pipeline sess with
+        | None ->
+            respond sess seq
+              (Protocol.Error
+                 {
+                   code = Protocol.Failed;
+                   message = "no ingest stream open (send ingest_open first)";
+                 })
+        | Some p ->
+            let verdicts =
+              List.filter_map
+                (fun s ->
+                  Option.map
+                    (Format.asprintf "%a" Online.Classifier.pp_verdict)
+                    (Online.Pipeline.feed p s))
+                samples
+            in
+            respond sess seq (Protocol.Verdicts verdicts))
+    | Protocol.Ingest_finalize -> (
+        match Session.pipeline sess with
+        | None ->
+            respond sess seq
+              (Protocol.Error
+                 { code = Protocol.Failed; message = "no ingest stream open" })
+        | Some p -> (
+            Session.close_pipeline sess;
+            match Online.Pipeline.finalize p with
+            | final ->
+                respond sess seq
+                  (Protocol.Ingest_final
+                     (Format.asprintf "%a@." Online.Pipeline.pp_final final))
+            | exception Failure m ->
+                respond sess seq
+                  (Protocol.Error { code = Protocol.Failed; message = m })
+            | exception Invalid_argument m ->
+                respond sess seq
+                  (Protocol.Error { code = Protocol.Failed; message = m })))
+    | Protocol.Analyze name | Protocol.Quadrant name | Protocol.Re_curve name
+      ->
+        enqueue_heavy sess seq req name
+  in
+  let rec drain_frames sess =
+    if not (Session.closing sess) then
+      match Session.next_frame sess ~max_payload:cfg.max_payload with
+      | Ok None -> ()
+      | Ok (Some payload) ->
+          (match Protocol.decode_request payload with
+          | Ok req -> handle sess req
+          | Error m ->
+              let seq = Session.alloc_seq sess in
+              respond sess seq
+                (Protocol.Error { code = Protocol.Bad_request; message = m }));
+          drain_frames sess
+      | Error e ->
+          (* The byte stream itself is corrupt; answer once and close —
+             resynchronising inside garbage is guesswork. *)
+          let seq = Session.alloc_seq sess in
+          respond sess seq
+            (Protocol.Error
+               { code = Protocol.Bad_request; message = Wire.error_to_string e });
+          Session.mark_close sess
+  in
+  let read_session sess =
+    let buf = Bytes.create 65536 in
+    match Unix.read (Session.fd sess) buf 0 (Bytes.length buf) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        drop_session sess
+    | 0 ->
+        (* Peer finished sending; flush anything still owed, then close. *)
+        if Session.has_pending sess then Session.mark_close sess
+        else drop_session sess
+    | n ->
+        Session.feed sess buf n;
+        drain_frames sess
+  in
+  let accept_connection () =
+    match Unix.accept ~cloexec:true listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | fd, _addr ->
+        if !draining || Hashtbl.length sessions >= cfg.max_connections then begin
+          Metrics.incr_refused metrics;
+          let message =
+            if !draining then "server is draining"
+            else
+              Printf.sprintf "connection limit reached (max %d)"
+                cfg.max_connections
+          in
+          let frame =
+            Wire.encode
+              (Protocol.encode_response
+                 (Protocol.Error { code = Protocol.Busy; message }))
+          in
+          (try write_all fd frame with Unix.Unix_error (_, _, _) -> ());
+          close_quietly fd
+        end
+        else begin
+          Metrics.incr_accepted metrics;
+          let id = !next_conn_id in
+          incr next_conn_id;
+          Hashtbl.replace sessions id (Session.create ~id fd);
+          Metrics.set_active metrics (Hashtbl.length sessions)
+        end
+  in
+  let drain_wake () =
+    let buf = Bytes.create 256 in
+    match Unix.read wake_r buf 0 (Bytes.length buf) with
+    | _ -> ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  let drain_completions () =
+    Mutex.lock completions_mutex;
+    let finished = Queue.fold (fun acc item -> item :: acc) [] completions in
+    Queue.clear completions;
+    Mutex.unlock completions_mutex;
+    List.iter
+      (fun (key, resp) ->
+        decr inflight;
+        match Hashtbl.find_opt by_key key with
+        | None -> ()
+        | Some p -> deliver p resp)
+      (List.rev finished)
+  in
+  (* Expiry runs before submission, so a request either times out while
+     waiting or runs to completion — for [--timeout 0] that makes the
+     Timeout answer deterministic at every jobs value. *)
+  let expire_waiting () =
+    Queue.iter
+      (fun p ->
+        if (not p.cancelled) && Clock.expired ~deadline:p.deadline then begin
+          p.cancelled <- true;
+          decr waiting_count;
+          deliver p
+            (Protocol.Error
+               {
+                 code = Protocol.Timeout;
+                 message = "deadline exceeded while queued";
+               })
+        end)
+      waiting
+  in
+  let submit p =
+    incr inflight;
+    Metrics.observe_inflight metrics !inflight;
+    ignore
+      (Parallel.Pool.submit pool (fun () ->
+           let resp =
+             match p.work () with
+             | resp -> resp
+             | exception Failure m ->
+                 Protocol.Error { code = Protocol.Failed; message = m }
+             | exception Invalid_argument m ->
+                 Protocol.Error { code = Protocol.Failed; message = m }
+             | exception Not_found ->
+                 Protocol.Error
+                   { code = Protocol.Failed; message = "lookup failed" }
+           in
+           Mutex.lock completions_mutex;
+           Queue.push (p.key, resp) completions;
+           Mutex.unlock completions_mutex;
+           wake ()))
+  in
+  let submit_ready () =
+    while !inflight < max_inflight && not (Queue.is_empty waiting) do
+      let p = Queue.pop waiting in
+      (* A cancelled entry was already answered with Timeout. *)
+      if not p.cancelled then begin
+        decr waiting_count;
+        submit p
+      end
+    done
+  in
+  let flush_session sess =
+    let rec go () =
+      match Session.next_write sess with
+      | None ->
+          if Session.closing sess && not (Session.has_pending sess) then
+            drop_session sess
+      | Some frame -> (
+          match write_all (Session.fd sess) frame with
+          | () ->
+              Session.wrote sess;
+              go ()
+          | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+              drop_session sess)
+    in
+    go ()
+  in
+  let drained () =
+    !draining && !waiting_count = 0 && !inflight = 0
+    && List.for_all (fun s -> not (Session.has_pending s)) (sorted_sessions ())
+  in
+  let announced_drain = ref false in
+  let rec loop () =
+    if !draining && not !announced_drain then begin
+      announced_drain := true;
+      on_event "draining: refusing new work, finishing in-flight requests"
+    end;
+    if drained () then ()
+    else begin
+      let session_fds = List.map Session.fd (sorted_sessions ()) in
+      let watched = (wake_r :: listen_fd :: session_fds : Unix.file_descr list) in
+      let readable =
+        match Unix.select watched [] [] 0.1 with
+        | r, _, _ -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      in
+      if List.memq wake_r readable then drain_wake ();
+      if List.memq listen_fd readable then accept_connection ();
+      List.iter
+        (fun sess -> if List.memq (Session.fd sess) readable then read_session sess)
+        (sorted_sessions ());
+      drain_completions ();
+      expire_waiting ();
+      submit_ready ();
+      List.iter flush_session (sorted_sessions ());
+      loop ()
+    end
+  in
+  loop ();
+  on_event "drained; shutting down";
+  List.iter drop_session (sorted_sessions ());
+  close_quietly listen_fd;
+  close_quietly wake_r;
+  close_quietly wake_w;
+  (match address with
+  | Unix_socket path -> (
+      try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+  | Tcp _ -> ());
+  Sys.set_signal Sys.sigpipe old_pipe;
+  Sys.set_signal Sys.sigint old_int;
+  Sys.set_signal Sys.sigterm old_term;
+  Metrics.snapshot metrics

@@ -1,0 +1,54 @@
+(** The analysis server: a single-threaded [Unix.select] IO loop that
+    accepts framed {!Protocol} requests and fans the heavy ones out onto
+    the shared {!Parallel.Pool}.
+
+    {b Concurrency shape.}  All socket IO, parsing and bookkeeping happen
+    on one thread; only request {e work} (workload analysis) runs on pool
+    workers, which hand results back through a mutex-guarded completion
+    queue and a self-wake pipe.  Responses are computed in whatever order
+    the pool finishes them but written strictly in per-connection request
+    order ({!Session}), so a conversation's bytes are a pure function of
+    the requests — bit-identical for every [--jobs] value.
+
+    {b Backpressure.}  Heavy requests wait in a bounded FIFO; when it is
+    full the server answers [Error Overloaded] immediately instead of
+    queueing without bound.  Identical in-flight requests are batched:
+    the work runs once and every subscriber receives the same encoded
+    response ("pool-backed batching").
+
+    {b Deadlines.}  [request_timeout] bounds how long a request may wait
+    in the queue: expiry is checked {e before} submission, so a request
+    either times out while waiting (deterministically, for [--timeout 0])
+    or runs to completion — a result is never half-delivered.
+
+    {b Shutdown.}  A [Shutdown] request or SIGINT/SIGTERM starts a drain:
+    new connections are refused, new heavy requests answer [Overloaded],
+    queued and in-flight work completes, owed responses flush, then the
+    server closes everything and returns its final metrics snapshot. *)
+
+type address = Unix_socket of string | Tcp of int
+
+type config = {
+  analysis : Fuzzy.Analysis.config;
+      (** the configuration every served analysis runs under (seed,
+          scale, interval geometry, [jobs] = pool width) *)
+  pipeline : Online.Pipeline.config;  (** per-session ingest streams *)
+  queue_capacity : int;  (** bounded heavy-request queue *)
+  max_connections : int;  (** cap; excess connections get [Busy] *)
+  request_timeout : float option;  (** max seconds queued, [None] = no limit *)
+  max_payload : int;  (** per-frame payload cap in bytes *)
+}
+
+val config_of_analysis : Fuzzy.Analysis.config -> config
+(** Defaults: pipeline from {!Online.Pipeline.default} with the given
+    analysis config; queue 64; 32 connections; no timeout;
+    {!Wire.default_max_payload}. *)
+
+val describe_address : address -> string
+(** ["unix:PATH"] or ["tcp:127.0.0.1:PORT"]. *)
+
+val run : ?on_event:(string -> unit) -> config -> address -> Metrics.snapshot
+(** Bind, listen and serve until drained ([Shutdown] request or
+    SIGINT/SIGTERM).  [on_event] receives human-readable lifecycle lines
+    ("listening on ...", "draining ..."); the library itself never prints.
+    Returns the final metrics snapshot. *)

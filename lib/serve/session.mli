@@ -1,0 +1,56 @@
+(** Per-connection server state: the incremental frame decoder, the
+    in-order response ledger and the connection's optional streaming
+    pipeline.
+
+    Responses may be {e computed} out of order (heavy requests fan out
+    onto the pool), but they are {e written} strictly in request order:
+    every parsed request is assigned the next sequence number and the
+    writer only sends the frame for [next_to_write].  That per-connection
+    FIFO discipline — plus response payloads being pure functions of the
+    request — is what makes concurrent clients observe byte-identical
+    conversations at every [--jobs] value. *)
+
+type t
+
+val create : id:int -> Unix.file_descr -> t
+val id : t -> int
+val fd : t -> Unix.file_descr
+
+(** {1 Reading} *)
+
+val feed : t -> bytes -> int -> unit
+(** Append the first [n] bytes just read from the socket. *)
+
+val next_frame : t -> max_payload:int -> (string option, Wire.error) result
+(** Extract the next complete frame's payload, if one is buffered.
+    [Ok None] means "need more bytes".  A checksum/magic/version/size
+    error poisons the connection (the server answers [Bad_request] and
+    closes): resynchronising inside a corrupt byte stream is guesswork. *)
+
+(** {1 In-order responses} *)
+
+val alloc_seq : t -> int
+(** Sequence number for a request just parsed. *)
+
+val put_response : t -> seq:int -> string -> unit
+(** Record the encoded response frame for [seq] (computed in any order). *)
+
+val next_write : t -> string option
+(** The frame for the lowest unwritten sequence number, if ready. *)
+
+val wrote : t -> unit
+(** Advance past the frame {!next_write} returned. *)
+
+val has_pending : t -> bool
+(** Responses still owed (allocated but unwritten sequence numbers). *)
+
+(** {1 Pipeline and lifecycle} *)
+
+val pipeline : t -> Online.Pipeline.t option
+val open_pipeline : t -> Online.Pipeline.t -> unit
+val close_pipeline : t -> unit
+
+val mark_close : t -> unit
+(** Close once every owed response has been written. *)
+
+val closing : t -> bool

@@ -1,0 +1,47 @@
+#!/bin/sh
+# End-to-end serving smoke test, gated in `make check` and CI.
+#
+# Starts `repro serve` on a temp Unix socket, runs a client analyze +
+# stats + graceful shutdown against it, and `cmp`s the served analyze
+# response against the offline `repro analyze` output for the same
+# configuration — the byte-equality guarantee DESIGN.md §11 argues for.
+#
+# Uses the built binary directly (not `dune exec`) so the background
+# server and the foreground client don't fight over the dune lock.
+set -eu
+
+EXE=_build/default/bin/repro.exe
+OUT=_build/serve-smoke
+SOCK="${TMPDIR:-/tmp}/repro-smoke-$$.sock"
+
+[ -x "$EXE" ] || { echo "serve-smoke: $EXE not built (run dune build @all)" >&2; exit 1; }
+mkdir -p "$OUT"
+rm -f "$SOCK"
+
+"$EXE" serve --quick --socket "$SOCK" --jobs 2 > "$OUT/server.out" 2> "$OUT/server.err" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+
+# --wait retries while the server is still binding the socket.
+"$EXE" client --wait --socket "$SOCK" analyze gcc > "$OUT/served-analyze.out"
+"$EXE" client --socket "$SOCK" stats > "$OUT/stats.out"
+grep -q "requests.total" "$OUT/stats.out" || {
+  echo "serve-smoke: stats response missing requests.total" >&2; exit 1; }
+
+# `repro serve --status` renders the same snapshot without serving.
+"$EXE" serve --status --socket "$SOCK" > "$OUT/status.out"
+grep -q "serve metrics" "$OUT/status.out" || {
+  echo "serve-smoke: serve --status did not render metrics" >&2; exit 1; }
+
+# Graceful shutdown: the server must drain and exit 0 on its own.
+"$EXE" client --socket "$SOCK" shutdown > /dev/null
+wait "$SERVER_PID" || { echo "serve-smoke: server exited non-zero" >&2; exit 1; }
+trap 'rm -f "$SOCK"' EXIT
+
+# The served report must be byte-identical to the offline CLI at the
+# same analysis configuration (jobs is excluded from the cache key and
+# must not affect output).
+JOBS=1 "$EXE" analyze --quick gcc > "$OUT/offline-analyze.out"
+cmp "$OUT/served-analyze.out" "$OUT/offline-analyze.out"
+
+echo "serve-smoke: served analyze byte-identical to offline analyze"

@@ -246,6 +246,52 @@ let test_trace_rejects_garbage () =
       | exception Failure _ -> ()
       | _ -> Alcotest.fail "expected failure")
 
+(* One valid archive, shared by every corruption trial. *)
+let trace_archive =
+  lazy
+    (let w =
+       (Workload.Catalog.find "odb_c").Workload.Catalog.build ~seed:7 ~scale:0.05
+     in
+     let cpu = March.Cpu.create March.Config.itanium2 in
+     let run = Sampling.Driver.run w ~cpu ~rng:(Rng.create 7) ~samples:120 in
+     let path = Filename.temp_file "fuzzytrace" ".txt" in
+     Fun.protect
+       ~finally:(fun () -> Sys.remove path)
+       (fun () ->
+         Sampling.Trace_io.save run ~path;
+         let ic = open_in_bin path in
+         Fun.protect
+           ~finally:(fun () -> close_in ic)
+           (fun () -> really_input_string ic (in_channel_length ic))))
+
+(* Any single-byte flip breaks the Adler-32 (or the trailer declaring
+   it), and any truncation breaks the declared length — load must turn
+   every one into a [Failure], never a bare decode exception. *)
+let qcheck_trace_corruption =
+  QCheck2.Test.make ~name:"trace corruption always detected" ~count:60
+    QCheck2.Gen.(pair (int_range 0 1_000_000) bool)
+    (fun (raw_pos, truncate) ->
+      let content = Lazy.force trace_archive in
+      let pos = raw_pos mod String.length content in
+      let corrupted =
+        if truncate then String.sub content 0 pos
+        else begin
+          let b = Bytes.of_string content in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+          Bytes.to_string b
+        end
+      in
+      let path = Filename.temp_file "fuzzycorrupt" ".txt" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let oc = open_out_bin path in
+          output_string oc corrupted;
+          close_out oc;
+          match Sampling.Trace_io.load ~path with
+          | exception Failure _ -> true
+          | _ -> false))
+
 (* ----------------------------- Phase_detect ------------------------- *)
 
 let phase_eipv () =
@@ -323,6 +369,7 @@ let () =
         [
           Alcotest.test_case "roundtrip exact" `Quick test_trace_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_trace_rejects_garbage;
+          QCheck_alcotest.to_alcotest qcheck_trace_corruption;
         ] );
       ( "phase_detect",
         [

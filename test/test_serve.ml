@@ -1,0 +1,604 @@
+(* lib/serve: wire-format properties, protocol codec roundtrips for every
+   message, incremental session framing, and end-to-end determinism of
+   the analysis server (concurrent clients at --jobs 4 receive responses
+   byte-identical to --jobs 1 and to the offline CLI). *)
+
+module W = Serve.Wire
+module P = Serve.Protocol
+
+(* The servers under test are separate processes of the built CLI: the
+   test binary itself never forks after spawning domains (fork only
+   duplicates the calling thread), and the in-test analysis below always
+   runs at jobs=1, which spawns none. *)
+let repro_exe =
+  (* cwd is _build/default/test under `dune runtest`, the project root
+     under `dune exec test/test_serve.exe`. *)
+  List.find Sys.file_exists [ "../bin/repro.exe"; "_build/default/bin/repro.exe" ]
+
+let acfg = { Fuzzy.Analysis.quick with Fuzzy.Analysis.jobs = 1 }
+
+(* ------------------------------- wire ------------------------------- *)
+
+let test_adler32 () =
+  (* RFC 1950 reference value. *)
+  Alcotest.(check int) "adler32(Wikipedia)" 0x11E60398 (W.adler32 "Wikipedia");
+  Alcotest.(check int) "adler32 of empty" 1 (W.adler32 "")
+
+let check_wire_error name expected = function
+  | Stdlib.Error e ->
+      Alcotest.(check string) name expected (W.error_to_string e)
+  | Ok _ -> Alcotest.fail (name ^ ": expected a wire error")
+
+let test_frame_rejections () =
+  let frame = W.encode "hello wire" in
+  (match W.decode frame with
+  | Ok p -> Alcotest.(check string) "roundtrip" "hello wire" p
+  | Error e -> Alcotest.fail (W.error_to_string e));
+  let flip s i =
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+    Bytes.to_string b
+  in
+  check_wire_error "bad magic" (W.error_to_string W.Bad_magic)
+    (W.decode (flip frame 0));
+  (match W.decode (flip frame 5) with
+  | Error (W.Bad_version _) -> ()
+  | Error e -> Alcotest.fail ("expected Bad_version, got " ^ W.error_to_string e)
+  | Ok _ -> Alcotest.fail "foreign version accepted");
+  check_wire_error "short frame" (W.error_to_string W.Truncated)
+    (W.decode (String.sub frame 0 (String.length frame - 1)));
+  check_wire_error "no header" (W.error_to_string W.Truncated) (W.decode "FZ");
+  check_wire_error "payload corruption" (W.error_to_string W.Bad_checksum)
+    (W.decode (flip frame (W.header_len + 2)));
+  (match W.decode ~max_payload:4 frame with
+  | Error (W.Oversized 10) -> ()
+  | Error e -> Alcotest.fail ("expected Oversized 10, got " ^ W.error_to_string e)
+  | Ok _ -> Alcotest.fail "oversized frame accepted")
+
+let test_primitive_extremes () =
+  let enc f =
+    let e = W.Enc.create () in
+    f e;
+    W.Enc.contents e
+  in
+  List.iter
+    (fun v ->
+      let d = W.Dec.of_string (enc (fun e -> W.Enc.int e v)) in
+      Alcotest.(check int) "int extreme" v (W.Dec.int d);
+      W.Dec.expect_end d)
+    [ 0; 1; -1; max_int; min_int; 0xdeadbeef ];
+  List.iter
+    (fun v ->
+      let d = W.Dec.of_string (enc (fun e -> W.Enc.float e v)) in
+      let back = W.Dec.float d in
+      Alcotest.(check int64) "float bits exact" (Int64.bits_of_float v)
+        (Int64.bits_of_float back);
+      W.Dec.expect_end d)
+    [ 0.0; -0.0; 1.5; -1.5e308; 4.9e-324; infinity; neg_infinity; nan ];
+  let s = "with \x00 nul and \n newline" in
+  let d = W.Dec.of_string (enc (fun e -> W.Enc.string e s)) in
+  Alcotest.(check string) "string with nul/newline" s (W.Dec.string d);
+  W.Dec.expect_end d
+
+let qcheck_frame_roundtrip =
+  QCheck2.Test.make ~name:"wire frame roundtrip" ~count:300
+    QCheck2.Gen.(string_size (int_range 0 2048))
+    (fun payload -> W.decode (W.encode payload) = Ok payload)
+
+(* ----------------------------- protocol ----------------------------- *)
+
+(* Finite floats only: codec equality is structural, and NaN <> NaN. *)
+let gen_float =
+  QCheck2.Gen.(
+    map
+      (fun (a, b) -> float_of_int a /. (1.0 +. float_of_int (abs b)))
+      (pair (int_range (-1_000_000) 1_000_000) (int_range 0 10_000)))
+
+let gen_name = QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 0 12))
+
+let gen_sample =
+  QCheck2.Gen.(
+    map
+      (fun ((eip, tid, instrs, os_instrs), cycles, (w, f, e, o), regions) ->
+        {
+          Sampling.Driver.eip;
+          tid;
+          instrs;
+          cycles;
+          breakdown = { March.Breakdown.work = w; fe = f; exe = e; other = o };
+          os_instrs;
+          region_instrs = Array.of_list regions;
+        })
+      (quad
+         (quad (int_range 0 0xffffff) (int_range 0 64) (int_range 0 100_000)
+            (int_range 0 100_000))
+         gen_float
+         (quad gen_float gen_float gen_float gen_float)
+         (list_size (int_range 0 6) (pair (int_range 0 40) (int_range 0 10_000)))))
+
+let gen_request =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun w -> P.Analyze w) gen_name;
+        map (fun w -> P.Quadrant w) gen_name;
+        map (fun w -> P.Re_curve w) gen_name;
+        map (fun w -> P.Ingest_open w) gen_name;
+        map (fun ss -> P.Ingest_feed ss) (list_size (int_range 0 5) gen_sample);
+        return P.Ingest_finalize;
+        return P.Stats;
+        return P.Health;
+        return P.Shutdown;
+      ])
+
+let gen_curve =
+  QCheck2.Gen.(
+    map
+      (fun (ks, es, res, variance) ->
+        {
+          Rtree.Cv.k_values = Array.of_list ks;
+          e = Array.of_list es;
+          re = Array.of_list res;
+          variance;
+        })
+      (quad
+         (list_size (int_range 0 12) (int_range 1 64))
+         (list_size (int_range 0 12) gen_float)
+         (list_size (int_range 0 12) gen_float)
+         gen_float))
+
+let gen_snapshot =
+  QCheck2.Gen.(
+    let pairs = list_size (int_range 0 4) (pair gen_name (int_range 0 9999)) in
+    map
+      (fun ((a, b, c, d), by_kind, by_error, (e, f, g, h)) ->
+        {
+          Serve.Metrics.connections_accepted = a;
+          connections_active = b;
+          connections_refused = c;
+          requests_total = d;
+          requests_by_kind = by_kind;
+          responses_ok = e;
+          responses_error = by_error;
+          batch_joined = f;
+          cache_hits = g;
+          cache_misses = h;
+          queue_high_water = 0;
+          inflight_high_water = 0;
+        })
+      (quad
+         (quad (int_range 0 9999) (int_range 0 9999) (int_range 0 9999)
+            (int_range 0 9999))
+         pairs pairs
+         (quad (int_range 0 9999) (int_range 0 9999) (int_range 0 9999)
+            (int_range 0 9999))))
+
+let gen_error_code =
+  QCheck2.Gen.oneofl
+    [ P.Overloaded; P.Timeout; P.Busy; P.Bad_request; P.Unknown_workload; P.Failed ]
+
+let gen_response =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun t -> P.Report t) (string_size (int_range 0 500));
+        map
+          (fun ((w, q, t), (v, re), k) ->
+            P.Quadrant_verdict
+              {
+                workload = w;
+                quadrant = Fuzzy.Quadrant.of_int q;
+                cpi_variance = v;
+                re_kopt = re;
+                kopt = k;
+                technique = t;
+              })
+          (triple
+             (triple gen_name (int_range 1 4) gen_name)
+             (pair gen_float gen_float) (int_range 1 64));
+        map (fun (w, c) -> P.Curve { workload = w; curve = c }) (pair gen_name gen_curve);
+        map (fun ls -> P.Verdicts ls) (list_size (int_range 0 5) (string_size (int_range 0 80)));
+        map (fun s -> P.Ingest_ack s) gen_name;
+        map (fun t -> P.Ingest_final t) (string_size (int_range 0 200));
+        map (fun s -> P.Stats_snapshot s) gen_snapshot;
+        map
+          (fun (v, j, w) -> P.Health_ok { version = v; jobs = j; workloads = w })
+          (triple (int_range 0 100) (int_range 1 64) (int_range 0 100));
+        return P.Shutdown_ack;
+        map
+          (fun (code, m) -> P.Error { code; message = m })
+          (pair gen_error_code (string_size (int_range 0 120)));
+      ])
+
+let qcheck_request_roundtrip =
+  QCheck2.Test.make ~name:"protocol request roundtrip" ~count:300 gen_request
+    (fun req -> P.decode_request (P.encode_request req) = Ok req)
+
+let qcheck_response_roundtrip =
+  QCheck2.Test.make ~name:"protocol response roundtrip" ~count:300 gen_response
+    (fun resp -> P.decode_response (P.encode_response resp) = Ok resp)
+
+let qcheck_request_truncation =
+  QCheck2.Test.make ~name:"truncated request payload rejected" ~count:200
+    QCheck2.Gen.(pair gen_request (int_range 1 8))
+    (fun (req, cut) ->
+      let p = P.encode_request req in
+      let cut = min cut (String.length p) in
+      QCheck2.assume (cut > 0);
+      match P.decode_request (String.sub p 0 (String.length p - cut)) with
+      | Stdlib.Error _ -> true
+      | Ok _ -> false)
+
+let test_protocol_malformed () =
+  let is_err name = function
+    | Stdlib.Error _ -> ()
+    | Ok _ -> Alcotest.fail (name ^ ": malformed payload accepted")
+  in
+  is_err "empty request" (P.decode_request "");
+  is_err "bad request tag" (P.decode_request "\xff");
+  is_err "trailing bytes" (P.decode_request (P.encode_request P.Stats ^ "\x00"));
+  is_err "empty response" (P.decode_response "");
+  is_err "bad response tag" (P.decode_response "\xee");
+  is_err "trailing bytes in response"
+    (P.decode_response (P.encode_response P.Shutdown_ack ^ "zz"))
+
+(* ------------------------------ session ----------------------------- *)
+
+let with_null_fd f =
+  let fd = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> f fd)
+
+let test_session_incremental () =
+  with_null_fd (fun fd ->
+      let sess = Serve.Session.create ~id:0 fd in
+      let payload = P.encode_request (P.Analyze "gcc") in
+      let frame = W.encode payload in
+      String.iteri
+        (fun i c ->
+          (* Before the last byte the decoder must keep asking for more. *)
+          if i < String.length frame - 1 then begin
+            match Serve.Session.next_frame sess ~max_payload:W.default_max_payload with
+            | Ok None -> ()
+            | Ok (Some _) -> Alcotest.fail "frame completed early"
+            | Error e -> Alcotest.fail (W.error_to_string e)
+          end;
+          Serve.Session.feed sess (Bytes.make 1 c) 1)
+        frame;
+      (match Serve.Session.next_frame sess ~max_payload:W.default_max_payload with
+      | Ok (Some p) -> Alcotest.(check string) "byte-at-a-time payload" payload p
+      | Ok None -> Alcotest.fail "frame not extracted"
+      | Error e -> Alcotest.fail (W.error_to_string e));
+      (* Two frames in one feed come out one at a time, in order. *)
+      let p2 = P.encode_request P.Health in
+      let both = Bytes.of_string (frame ^ W.encode p2) in
+      Serve.Session.feed sess both (Bytes.length both);
+      (match Serve.Session.next_frame sess ~max_payload:W.default_max_payload with
+      | Ok (Some p) -> Alcotest.(check string) "first of two" payload p
+      | Ok None | Error _ -> Alcotest.fail "first frame lost");
+      match Serve.Session.next_frame sess ~max_payload:W.default_max_payload with
+      | Ok (Some p) -> Alcotest.(check string) "second of two" p2 p
+      | Ok None | Error _ -> Alcotest.fail "second frame lost")
+
+let test_session_oversized () =
+  with_null_fd (fun fd ->
+      let sess = Serve.Session.create ~id:1 fd in
+      let frame = Bytes.of_string (W.encode (String.make 100 'x')) in
+      Serve.Session.feed sess frame (Bytes.length frame);
+      match Serve.Session.next_frame sess ~max_payload:10 with
+      | Error (W.Oversized 100) -> ()
+      | Error e -> Alcotest.fail ("expected Oversized, got " ^ W.error_to_string e)
+      | Ok _ -> Alcotest.fail "oversized frame accepted")
+
+(* ---------------------------- e2e harness --------------------------- *)
+
+let start_server ?(jobs = 1) ?(extra = []) () =
+  let sock = Filename.temp_file "repro_serve_test" ".sock" in
+  Sys.remove sock;
+  let argv =
+    [ repro_exe; "serve"; "--quick"; "--socket"; sock; "--jobs"; string_of_int jobs ]
+    @ extra
+  in
+  flush stdout;
+  flush stderr;
+  let null_in = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let null_out = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process repro_exe (Array.of_list argv) null_in null_out null_out
+  in
+  Unix.close null_in;
+  Unix.close null_out;
+  (sock, pid)
+
+let stop_server (sock, pid) =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error (_, _, _) -> ());
+  (try ignore (Unix.waitpid [] pid) with Unix.Unix_error (_, _, _) -> ());
+  try Sys.remove sock with Sys_error _ -> ()
+
+let with_server ?jobs ?extra f =
+  let ((sock, _) as server) = start_server ?jobs ?extra () in
+  Fun.protect
+    ~finally:(fun () -> stop_server server)
+    (fun () -> f (Serve.Server.Unix_socket sock))
+
+let call_ok conn req =
+  match Serve.Client.call conn req with
+  | Ok resp -> resp
+  | Error m -> Alcotest.fail ("call failed: " ^ m)
+
+(* -------------------------- e2e: determinism ------------------------ *)
+
+let script_workloads = [| "gcc"; "sjas"; "odb_c" |]
+
+(* Health is excluded on purpose: its response reports the server's jobs
+   setting, which is exactly what must differ between the two runs. *)
+let client_script i =
+  let w k = script_workloads.((i + k) mod Array.length script_workloads) in
+  [ P.Analyze (w 0); P.Quadrant (w 1); P.Re_curve (w 2) ]
+
+let parse_entries content =
+  let rec go pos acc =
+    if pos >= String.length content then List.rev acc
+    else
+      let nl = String.index_from content pos '\n' in
+      let len = int_of_string (String.sub content pos (nl - pos)) in
+      go (nl + 1 + len) (String.sub content (nl + 1) len :: acc)
+  in
+  go 0 []
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Fork [n] concurrent clients; each records the raw payload bytes of
+   every response, length-prefixed, in its own file. *)
+let run_clients address n =
+  let files =
+    List.init n (fun i -> Filename.temp_file "serve_client" (string_of_int i))
+  in
+  flush stdout;
+  flush stderr;
+  let pids =
+    List.mapi
+      (fun i file ->
+        match Unix.fork () with
+        | 0 ->
+            let status =
+              try
+                let out = open_out_bin file in
+                Serve.Client.with_connection ~retry_for:200 address (fun conn ->
+                    List.iter
+                      (fun req ->
+                        match Serve.Client.call_raw conn req with
+                        | Ok payload ->
+                            Printf.fprintf out "%d\n%s" (String.length payload)
+                              payload
+                        | Error _ -> raise (Failure "call_raw failed"))
+                      (client_script i));
+                close_out out;
+                0
+              with Failure _ | Unix.Unix_error (_, _, _) | Sys_error _ -> 1
+            in
+            Unix._exit status
+        | pid -> pid)
+      files
+  in
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "a concurrent client failed")
+    pids;
+  List.map
+    (fun file ->
+      let c = read_file file in
+      Sys.remove file;
+      c)
+    files
+
+let collect_run jobs =
+  with_server ~jobs (fun address ->
+      let transcripts = run_clients address 8 in
+      (* Server-side sanity before shutdown: every request was served. *)
+      Serve.Client.with_connection ~retry_for:200 address (fun conn ->
+          (match call_ok conn P.Stats with
+          | P.Stats_snapshot s ->
+              Alcotest.(check bool) "requests served" true
+                (s.Serve.Metrics.requests_total >= 24);
+              Alcotest.(check bool) "no errors" true
+                (s.Serve.Metrics.responses_error = [])
+          | _ -> Alcotest.fail "stats: unexpected response");
+          ignore (call_ok conn P.Shutdown));
+      transcripts)
+
+let test_jobs_byte_equality () =
+  let serial = collect_run 1 in
+  let parallel = collect_run 4 in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "client %d transcript identical at jobs 1 vs 4" i)
+        true (String.equal a b))
+    (List.combine serial parallel);
+  (* And identical to the offline CLI: the Analyze payload is exactly the
+     report `repro analyze` prints for the same configuration. *)
+  let entries = parse_entries (List.nth serial 0) in
+  match P.decode_response (List.nth entries 0) with
+  | Ok (P.Report text) ->
+      let offline =
+        Fuzzy.Report.analyze_report (Fuzzy.Experiments.analyze_cached acfg "gcc")
+      in
+      Alcotest.(check string) "served analyze = offline analyze" offline text
+  | Ok _ | Stdlib.Error _ -> Alcotest.fail "expected a Report response"
+
+(* ------------------- e2e: backpressure and deadlines ---------------- *)
+
+let test_overload () =
+  with_server ~extra:[ "--queue"; "0" ] (fun address ->
+      Serve.Client.with_connection ~retry_for:200 address (fun conn ->
+          (match call_ok conn (P.Analyze "gcc") with
+          | P.Error { code = P.Overloaded; _ } -> ()
+          | resp ->
+              Alcotest.fail ("expected overloaded, got " ^ P.render_response resp));
+          (* Inline requests keep flowing while the queue refuses work. *)
+          (match call_ok conn P.Health with
+          | P.Health_ok { workloads; _ } ->
+              Alcotest.(check int) "health while overloaded"
+                (Array.length Workload.Catalog.all)
+                workloads
+          | resp -> Alcotest.fail ("health: " ^ P.render_response resp));
+          (match call_ok conn P.Stats with
+          | P.Stats_snapshot s ->
+              Alcotest.(check (list (pair string int)))
+                "overload counted" [ ("overloaded", 1) ]
+                s.Serve.Metrics.responses_error
+          | resp -> Alcotest.fail ("stats: " ^ P.render_response resp));
+          ignore (call_ok conn P.Shutdown)))
+
+let test_timeout () =
+  with_server ~extra:[ "--timeout"; "0" ] (fun address ->
+      Serve.Client.with_connection ~retry_for:200 address (fun conn ->
+          (match call_ok conn (P.Analyze "gcc") with
+          | P.Error { code = P.Timeout; _ } -> ()
+          | resp -> Alcotest.fail ("expected timeout, got " ^ P.render_response resp));
+          (match call_ok conn P.Stats with
+          | P.Stats_snapshot s ->
+              Alcotest.(check (list (pair string int)))
+                "timeout counted" [ ("timeout", 1) ]
+                s.Serve.Metrics.responses_error
+          | resp -> Alcotest.fail ("stats: " ^ P.render_response resp));
+          ignore (call_ok conn P.Shutdown)))
+
+let test_unknown_workload () =
+  with_server (fun address ->
+      Serve.Client.with_connection ~retry_for:200 address (fun conn ->
+          (match call_ok conn (P.Analyze "no_such_workload") with
+          | P.Error { code = P.Unknown_workload; _ } -> ()
+          | resp -> Alcotest.fail ("expected unknown_workload, got " ^ P.render_response resp));
+          ignore (call_ok conn P.Shutdown)))
+
+(* ------------------------ e2e: streaming ingest --------------------- *)
+
+let test_ingest_equivalence () =
+  (* Offline reference: the same pipeline configuration the server builds
+     from its --quick analysis config. *)
+  let ocfg = { Online.Pipeline.default with Online.Pipeline.analysis = acfg } in
+  let expected = ref [] in
+  let final =
+    Online.Pipeline.run
+      ~on_verdict:(fun v ->
+        expected := Format.asprintf "%a" Online.Classifier.pp_verdict v :: !expected)
+      ocfg "gcc"
+  in
+  let expected_lines = List.rev !expected in
+  let expected_final = Format.asprintf "%a@." Online.Pipeline.pp_final final in
+  with_server (fun address ->
+      Serve.Client.with_connection ~retry_for:200 address (fun conn ->
+          (match call_ok conn (P.Ingest_open "gcc") with
+          | P.Ingest_ack s -> Alcotest.(check string) "ack names stream" "gcc" s
+          | resp -> Alcotest.fail ("open: " ^ P.render_response resp));
+          (* Same sample stream the offline paths derive from (seed, name). *)
+          let entry = Workload.Catalog.find "gcc" in
+          let model =
+            entry.Workload.Catalog.build ~seed:acfg.Fuzzy.Analysis.seed
+              ~scale:acfg.Fuzzy.Analysis.scale
+          in
+          let cpu = March.Cpu.create acfg.Fuzzy.Analysis.machine in
+          let rng = Stats.Rng.split_label acfg.Fuzzy.Analysis.seed "gcc" in
+          let samples =
+            acfg.Fuzzy.Analysis.intervals * acfg.Fuzzy.Analysis.samples_per_interval
+          in
+          let got = ref [] in
+          let batch = ref [] in
+          let flush_batch () =
+            if !batch <> [] then begin
+              let chunk = List.rev !batch in
+              batch := [];
+              match call_ok conn (P.Ingest_feed chunk) with
+              | P.Verdicts vs -> List.iter (fun v -> got := v :: !got) vs
+              | resp -> Alcotest.fail ("feed: " ^ P.render_response resp)
+            end
+          in
+          let _meta =
+            Sampling.Driver.stream ~period:acfg.Fuzzy.Analysis.period model ~cpu ~rng
+              ~samples ~f:(fun _ s ->
+                batch := s :: !batch;
+                if List.length !batch >= 75 then flush_batch ())
+          in
+          flush_batch ();
+          let got_final =
+            match call_ok conn P.Ingest_finalize with
+            | P.Ingest_final text -> text
+            | resp -> Alcotest.fail ("finalize: " ^ P.render_response resp)
+          in
+          Alcotest.(check (list string)) "verdict trace identical over RPC"
+            expected_lines (List.rev !got);
+          Alcotest.(check string) "final verdict identical over RPC" expected_final
+            got_final;
+          (* The stream is closed: feeding again is a typed error. *)
+          (match call_ok conn P.Ingest_finalize with
+          | P.Error { code = P.Failed; _ } -> ()
+          | resp -> Alcotest.fail ("double finalize: " ^ P.render_response resp));
+          ignore (call_ok conn P.Shutdown)))
+
+(* ----------------------------- e2e: tcp ----------------------------- *)
+
+let test_tcp_health () =
+  (* Derive the port from the pid so concurrent checkouts don't collide. *)
+  let port = 20_000 + (Unix.getpid () mod 20_000) in
+  let server = start_server ~extra:[ "--port"; string_of_int port ] () in
+  Fun.protect
+    ~finally:(fun () -> stop_server server)
+    (fun () ->
+      Serve.Client.with_connection ~retry_for:200 (Serve.Server.Tcp port)
+        (fun conn ->
+          (match call_ok conn P.Health with
+          | P.Health_ok { version; jobs; workloads } ->
+              Alcotest.(check int) "protocol version" W.version version;
+              Alcotest.(check int) "jobs" 1 jobs;
+              Alcotest.(check int) "catalog size"
+                (Array.length Workload.Catalog.all)
+                workloads
+          | resp -> Alcotest.fail ("health: " ^ P.render_response resp));
+          ignore (call_ok conn P.Shutdown)))
+
+(* ----------------------------- alcotest ----------------------------- *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "adler32 vector" `Quick test_adler32;
+          Alcotest.test_case "frame rejections" `Quick test_frame_rejections;
+          Alcotest.test_case "primitive extremes" `Quick test_primitive_extremes;
+        ]
+        @ qcheck [ qcheck_frame_roundtrip ] );
+      ( "protocol",
+        [ Alcotest.test_case "malformed payloads" `Quick test_protocol_malformed ]
+        @ qcheck
+            [
+              qcheck_request_roundtrip;
+              qcheck_response_roundtrip;
+              qcheck_request_truncation;
+            ] );
+      ( "session",
+        [
+          Alcotest.test_case "incremental framing" `Quick test_session_incremental;
+          Alcotest.test_case "oversized frame" `Quick test_session_oversized;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "8 clients byte-identical across jobs" `Slow
+            test_jobs_byte_equality;
+          Alcotest.test_case "queue overflow -> overloaded" `Quick test_overload;
+          Alcotest.test_case "deadline -> timeout" `Quick test_timeout;
+          Alcotest.test_case "unknown workload" `Quick test_unknown_workload;
+          Alcotest.test_case "ingest stream = repro stream" `Slow
+            test_ingest_equivalence;
+          Alcotest.test_case "health over tcp" `Quick test_tcp_health;
+        ] );
+    ]
