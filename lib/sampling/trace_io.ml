@@ -8,7 +8,11 @@
    Floats are printed with %h (hex floats) so round-trips are exact.  The
    trailer declares the byte length and Adler-32 checksum of everything
    before it, so a truncated or bit-flipped archive is rejected with a
-   clear error before any line is decoded. *)
+   clear error before any line is decoded.
+
+   Version-1 archives have the same header and sample lines but no
+   trailer; [load] still reads them (unchecked), [save] always writes
+   version 2. *)
 
 let version = 2
 
@@ -102,7 +106,17 @@ let load ~path =
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let body = checked_body ~path content in
+  if String.length content = 0 then fail_fmt "Trace_io.load: %s: empty file" path;
+  let file_version =
+    try Scanf.sscanf content "fuzzytrace %d" (fun v -> v)
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      fail_fmt "Trace_io.load: %s: not a fuzzytrace archive" path
+  in
+  let body =
+    (* v1 predates the trailer: nothing to validate against, so the body
+       is the whole file.  Everything newer must carry a valid trailer. *)
+    if file_version = 1 then content else checked_body ~path content
+  in
   let lines = String.split_on_char '\n' body in
   let header, sample_lines =
     match lines with
@@ -113,8 +127,8 @@ let load ~path =
     try
       Scanf.sscanf header "fuzzytrace %d %s %s %d %d %d %d %d %h %d"
         (fun v workload machine period ctx io os ti tc n ->
-          if v <> version then
-            fail_fmt "Trace_io.load: version %d, expected %d" v version;
+          if v <> 1 && v <> version then
+            fail_fmt "Trace_io.load: version %d, expected 1 or %d" v version;
           (workload, machine, period, ctx, io, os, ti, tc, n))
     with Scanf.Scan_failure m | Failure m -> fail_fmt "Trace_io.load: bad header: %s" m
   in

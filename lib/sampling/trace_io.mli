@@ -23,4 +23,6 @@ val load : path:string -> Driver.run
     exception — on a truncated file (trailer missing or length short),
     a corrupted file (checksum mismatch), a version mismatch or a
     malformed line.  The whole file is validated against the trailer
-    before any sample is decoded. *)
+    before any sample is decoded.  Version-1 archives (written before
+    the trailer existed) are still accepted; they carry no checksum, so
+    only per-line validation applies to them. *)

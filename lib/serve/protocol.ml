@@ -162,6 +162,7 @@ let decode_request payload =
   with
   | req -> Ok req
   | exception Wire.Decode_error msg -> Stdlib.Error msg
+  | exception Invalid_argument msg -> Stdlib.Error msg
 
 (* ----------------------------- responses ---------------------------- *)
 

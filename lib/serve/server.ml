@@ -310,7 +310,9 @@ let run ?(on_event = fun _ -> ()) cfg address =
   let read_session sess =
     let buf = Bytes.create 65536 in
     match Unix.read (Session.fd sess) buf 0 (Bytes.length buf) with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        ()
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
         drop_session sess
     | 0 ->
@@ -343,6 +345,10 @@ let run ?(on_event = fun _ -> ()) cfg address =
         end
         else begin
           Metrics.incr_accepted metrics;
+          (* Non-blocking: a client that stops reading must never stall
+             the IO thread — flush_session writes only what the socket
+             accepts and select waits for writability. *)
+          Unix.set_nonblock fd;
           let id = !next_conn_id in
           incr next_conn_id;
           Hashtbl.replace sessions id (Session.create ~id fd);
@@ -401,6 +407,12 @@ let run ?(on_event = fun _ -> ()) cfg address =
              | exception Not_found ->
                  Protocol.Error
                    { code = Protocol.Failed; message = "lookup failed" }
+             | exception e ->
+                 (* Catch-all: every submitted pending must produce exactly
+                    one completion, or [inflight] never drains and the
+                    subscribers hang forever. *)
+                 Protocol.Error
+                   { code = Protocol.Failed; message = Printexc.to_string e }
            in
            Mutex.lock completions_mutex;
            Queue.push (p.key, resp) completions;
@@ -417,17 +429,27 @@ let run ?(on_event = fun _ -> ()) cfg address =
       end
     done
   in
+  (* Write as much owed output as the (non-blocking) socket accepts.
+     A short or refused write leaves the session in select's write set;
+     the loop resumes exactly where it stopped, so one stalled client
+     never blocks the other connections. *)
   let flush_session sess =
     let rec go () =
       match Session.next_write sess with
       | None ->
           if Session.closing sess && not (Session.has_pending sess) then
             drop_session sess
-      | Some frame -> (
-          match write_all (Session.fd sess) frame with
-          | () ->
-              Session.wrote sess;
+      | Some (frame, off) -> (
+          match
+            Unix.write_substring (Session.fd sess) frame off
+              (String.length frame - off)
+          with
+          | n ->
+              Session.advance sess n;
               go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              ()  (* socket full; select will report writability *)
           | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
               drop_session sess)
     in
@@ -447,8 +469,13 @@ let run ?(on_event = fun _ -> ()) cfg address =
     else begin
       let session_fds = List.map Session.fd (sorted_sessions ()) in
       let watched = (wake_r :: listen_fd :: session_fds : Unix.file_descr list) in
+      let want_write =
+        List.filter_map
+          (fun s -> if Session.has_output s then Some (Session.fd s) else None)
+          (sorted_sessions ())
+      in
       let readable =
-        match Unix.select watched [] [] 0.1 with
+        match Unix.select watched want_write [] 0.1 with
         | r, _, _ -> r
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
       in

@@ -9,6 +9,7 @@ type t = {
   mutable in_len : int;
   mutable next_seq : int;  (* next sequence number to assign *)
   mutable next_out : int;  (* next sequence number to write *)
+  mutable out_off : int;  (* bytes of the current frame already written *)
   ready : (int, string) Hashtbl.t;  (* seq -> encoded frame *)
   mutable pipeline : Online.Pipeline.t option;
   mutable closing : bool;
@@ -22,6 +23,7 @@ let create ~id fd =
     in_len = 0;
     next_seq = 0;
     next_out = 0;
+    out_off = 0;
     ready = Hashtbl.create 8;
     pipeline = None;
     closing = false;
@@ -66,13 +68,23 @@ let alloc_seq t =
   s
 
 let put_response t ~seq frame = Hashtbl.replace t.ready seq frame
-let next_write t = Hashtbl.find_opt t.ready t.next_out
 
-let wrote t =
-  Hashtbl.remove t.ready t.next_out;
-  t.next_out <- t.next_out + 1
+let next_write t =
+  Option.map (fun frame -> (frame, t.out_off)) (Hashtbl.find_opt t.ready t.next_out)
+
+let advance t n =
+  match Hashtbl.find_opt t.ready t.next_out with
+  | None -> invalid_arg "Session.advance: no frame in flight"
+  | Some frame ->
+      t.out_off <- t.out_off + n;
+      if t.out_off >= String.length frame then begin
+        Hashtbl.remove t.ready t.next_out;
+        t.next_out <- t.next_out + 1;
+        t.out_off <- 0
+      end
 
 let has_pending t = t.next_out < t.next_seq
+let has_output t = Hashtbl.mem t.ready t.next_out
 let pipeline t = t.pipeline
 let open_pipeline t p = t.pipeline <- Some p
 let close_pipeline t = t.pipeline <- None

@@ -35,14 +35,23 @@ val alloc_seq : t -> int
 val put_response : t -> seq:int -> string -> unit
 (** Record the encoded response frame for [seq] (computed in any order). *)
 
-val next_write : t -> string option
-(** The frame for the lowest unwritten sequence number, if ready. *)
+val next_write : t -> (string * int) option
+(** The frame for the lowest unwritten sequence number plus the offset
+    of its first unwritten byte, if ready.  The offset is non-zero when
+    a previous non-blocking write sent only part of the frame. *)
 
-val wrote : t -> unit
-(** Advance past the frame {!next_write} returned. *)
+val advance : t -> int -> unit
+(** Record that [n] more bytes of the current {!next_write} frame were
+    written; once the whole frame is out, move to the next sequence
+    number.  Raises [Invalid_argument] if no frame is in flight. *)
 
 val has_pending : t -> bool
 (** Responses still owed (allocated but unwritten sequence numbers). *)
+
+val has_output : t -> bool
+(** Bytes ready to write right now (the next in-order frame is
+    computed).  Implies {!has_pending}; the converse needn't hold while
+    the response is still being computed on the pool. *)
 
 (** {1 Pipeline and lifecycle} *)
 

@@ -167,8 +167,13 @@ module Dec = struct
 
   let of_string src = { src; pos = 0 }
 
+  (* Bounds checks compare against the *remaining* byte count rather
+     than computing [t.pos + n]: a hostile 8-byte length near max_int
+     would make that sum wrap negative and slip past the guard. *)
+  let remaining t = String.length t.src - t.pos
+
   let take t n =
-    if t.pos + n > String.length t.src then
+    if n < 0 || n > remaining t then
       raise (Decode_error (Printf.sprintf "short read at byte %d" t.pos));
     let s = String.sub t.src t.pos n in
     t.pos <- t.pos + n;
@@ -187,7 +192,7 @@ module Dec = struct
 
   let string t =
     let n = int t in
-    if n < 0 || t.pos + n > String.length t.src then
+    if n < 0 || n > remaining t then
       raise (Decode_error (Printf.sprintf "bad string length %d at byte %d" n t.pos));
     take t n
 
@@ -199,7 +204,11 @@ module Dec = struct
 
   let list t f =
     let n = int t in
-    if n < 0 then raise (Decode_error (Printf.sprintf "negative list length %d" n));
+    (* Every element decoder consumes at least one byte, so a count
+       beyond the remaining bytes is corrupt — reject it before
+       [List.init] commits to materialising it. *)
+    if n < 0 || n > remaining t then
+      raise (Decode_error (Printf.sprintf "bad list length %d" n));
     List.init n (fun _ -> f t)
 
   let expect_end t =

@@ -292,6 +292,32 @@ let qcheck_trace_corruption =
           | exception Failure _ -> true
           | _ -> false))
 
+(* A version-1 archive (written before the trailer existed) must still
+   load: same header and sample lines, no end-of-trace trailer. *)
+let test_trace_loads_v1 () =
+  let content = Lazy.force trace_archive in
+  let trailer_start =
+    String.rindex_from content (String.length content - 2) '\n' + 1
+  in
+  let body = String.sub content 0 trailer_start in
+  let prefix = "fuzzytrace 2" in
+  assert (String.sub body 0 (String.length prefix) = prefix);
+  let v1 =
+    "fuzzytrace 1"
+    ^ String.sub body (String.length prefix) (String.length body - String.length prefix)
+  in
+  let path = Filename.temp_file "fuzzyv1" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc v1;
+      close_out oc;
+      let back = Sampling.Trace_io.load ~path in
+      Alcotest.(check int) "v1 sample count" 120
+        (Array.length back.Sampling.Driver.samples);
+      Alcotest.(check string) "v1 workload" "odb_c" back.Sampling.Driver.workload)
+
 (* ----------------------------- Phase_detect ------------------------- *)
 
 let phase_eipv () =
@@ -369,6 +395,7 @@ let () =
         [
           Alcotest.test_case "roundtrip exact" `Quick test_trace_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_trace_rejects_garbage;
+          Alcotest.test_case "loads version-1 archives" `Quick test_trace_loads_v1;
           QCheck_alcotest.to_alcotest qcheck_trace_corruption;
         ] );
       ( "phase_detect",

@@ -242,6 +242,33 @@ let test_protocol_malformed () =
   is_err "trailing bytes in response"
     (P.decode_response (P.encode_response P.Shutdown_ack ^ "zz"))
 
+(* A crafted 8-byte length near max_int must not overflow the decoder's
+   bounds check: [pos + n] would wrap negative and slip past a naive
+   guard, and the resulting [String.sub] exception would previously
+   escape [decode_request] and crash the server's IO thread. *)
+let test_hostile_lengths () =
+  let is_err name = function
+    | Stdlib.Error _ -> ()
+    | Ok _ -> Alcotest.fail (name ^ ": hostile length accepted")
+  in
+  let near_max = "\x3f\xff\xff\xff\xff\xff\xff\xff" in
+  (* Int64 0x7FFF... truncates to a negative OCaml int. *)
+  let negative = "\x7f\xff\xff\xff\xff\xff\xff\xff" in
+  List.iter
+    (fun (name, payload) -> is_err name (P.decode_request payload))
+    [
+      ("near-max analyze string length", "\x00" ^ near_max);
+      ("negative analyze string length", "\x00" ^ negative);
+      ("near-max ingest_feed list length", "\x04" ^ near_max);
+      ("negative ingest_feed list length", "\x04" ^ negative);
+    ];
+  is_err "near-max report string length" (P.decode_response ("\x00" ^ near_max));
+  (* The raw decoder must raise the typed error, not Invalid_argument. *)
+  match W.Dec.string (W.Dec.of_string near_max) with
+  | exception W.Decode_error _ -> ()
+  | exception e -> Alcotest.fail ("expected Decode_error, got " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail "hostile string length decoded"
+
 (* ------------------------------ session ----------------------------- *)
 
 let with_null_fd f =
@@ -578,7 +605,10 @@ let () =
         ]
         @ qcheck [ qcheck_frame_roundtrip ] );
       ( "protocol",
-        [ Alcotest.test_case "malformed payloads" `Quick test_protocol_malformed ]
+        [
+          Alcotest.test_case "malformed payloads" `Quick test_protocol_malformed;
+          Alcotest.test_case "hostile lengths" `Quick test_hostile_lengths;
+        ]
         @ qcheck
             [
               qcheck_request_roundtrip;
