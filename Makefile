@@ -1,6 +1,6 @@
 # Convenience targets mirroring CI.
 
-.PHONY: build check test bench lint serve-smoke clean
+.PHONY: build check test bench bench-gate bench-baseline lint serve-smoke clean
 
 # @all also builds the examples and benches, so they cannot bitrot.
 build:
@@ -10,14 +10,19 @@ build:
 # pass both fully serial and on a 4-domain pool (the equivalence tests
 # compare the two bit-for-bit), the streaming CLI must print byte-identical
 # traces at both, the analysis server must answer byte-identically to the
-# offline CLI, and the lint JSON reporter itself is golden-file compared
-# on the fixture tree (which must also make lint exit non-zero).
+# offline CLI, the lint JSON reporter itself is golden-file compared on the
+# fixture tree (which must also make lint exit non-zero), and two end-to-end
+# CLI transcripts are golden-compared so the optimized tree/CV hot path can
+# never drift from the byte output it had before the rewrite.
 check: build lint serve-smoke
-	JOBS=1 dune runtest --force
-	JOBS=4 dune runtest --force
+	QCHECK_SEED=1 JOBS=1 dune runtest --force
+	QCHECK_SEED=1 JOBS=4 dune runtest --force
 	dune exec bin/repro.exe -- stream odb_h_q13 mcf --quick --jobs 1 > _build/stream-j1.out
 	dune exec bin/repro.exe -- stream odb_h_q13 mcf --quick --jobs 4 > _build/stream-j4.out
 	cmp _build/stream-j1.out _build/stream-j4.out
+	cmp _build/stream-j1.out test/golden/stream-q13-mcf-quick.out
+	JOBS=1 dune exec bin/repro.exe -- analyze --quick gzip > _build/analyze-gzip.out
+	cmp _build/analyze-gzip.out test/golden/analyze-gzip-quick.out
 	if dune exec bin/repro.exe -- lint --json --root test/lint_fixtures > _build/lint-fixtures.json 2>/dev/null; \
 	  then echo "lint fixtures unexpectedly clean" >&2; exit 1; fi
 	cmp _build/lint-fixtures.json test/lint_fixtures/golden.json
@@ -37,6 +42,19 @@ test:
 
 bench:
 	dune exec bench/main.exe -- --quick
+
+# Benchmark-regression gate (DESIGN.md §12): time the core kernels and
+# compare against the committed BENCH_core.json baseline.  Fails on a
+# >1.5x normalised median slowdown or if tree_build / cv_curve fall
+# under 2x their Reference implementations.
+bench-gate: build
+	dune exec bench/main.exe -- --quick --json > _build/BENCH_core.fresh.json
+	sh scripts/bench_gate.sh BENCH_core.json _build/BENCH_core.fresh.json
+
+# Refresh the committed baseline (run on an idle machine, then commit).
+bench-baseline: build
+	dune exec bench/main.exe -- --quick --json > BENCH_core.json
+	@echo "wrote BENCH_core.json; review and commit it"
 
 clean:
 	dune clean

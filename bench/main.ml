@@ -100,6 +100,148 @@ let synthetic_eipv_dataset ~rows ~features ~nnz =
   let y = Array.map (fun r -> Stats.Sparse_vec.sum r +. Stats.Rng.float rng 5.0) rs in
   Rtree.Dataset.make ~rows:rs ~y
 
+(* --------------------- core kernels (bench gate) -------------------- *)
+
+(* The CI benchmark gate (scripts/bench_gate.sh) compares these kernels'
+   medians against the committed BENCH_core.json baseline.  Medians are
+   wall-clock over an odd number of reps — robust to one slow outlier —
+   and the JSON carries a calibration figure (a fixed pure-OCaml loop)
+   so the gate can normalise away machine-speed differences between the
+   baseline host and the CI runner.  The schema is deterministic: fixed
+   key order, fixed formatting, no timestamps or host names. *)
+
+let core_median a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b.(Array.length b / 2)
+
+let time_reps reps f =
+  ignore (Sys.opaque_identity (f ()));
+  let samples = Array.make reps 0.0 in
+  for i = 0 to reps - 1 do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    samples.(i) <- (Unix.gettimeofday () -. t0) *. 1e3
+  done;
+  core_median samples
+
+(* Fixed machine-speed probe: independent of any repro code, so a code
+   regression can never hide inside the normaliser. *)
+let calibration_kernel () =
+  let a = Array.make 4096 0.0 in
+  for i = 0 to 3_999_999 do
+    let j = i land 4095 in
+    Array.unsafe_set a j (Array.unsafe_get a j +. (float_of_int (i land 63) *. 0.5))
+  done;
+  a.(0)
+
+type core_kernel = {
+  ck_name : string;
+  ck_reps : int;
+  ck_median_ms : float;  (* optimized implementation *)
+  ck_ref_median_ms : float;  (* Tree.Reference / Cv.Reference side *)
+}
+
+let ck_speedup k = k.ck_ref_median_ms /. k.ck_median_ms
+
+(* The acceptance dataset: 128 intervals x 2000 features, 60 stored
+   entries per row (same shape the ablation benches use). *)
+let run_core_kernels ~quick =
+  let ds = synthetic_eipv_dataset ~rows:128 ~features:2000 ~nnz:60 in
+  let reps_build = if quick then 9 else 15 in
+  let reps_cv = if quick then 5 else 9 in
+  let reps_sweep = if quick then 9 else 15 in
+  let calib_ms = time_reps 9 calibration_kernel in
+  let tree_build =
+    {
+      ck_name = "tree_build";
+      ck_reps = reps_build;
+      ck_median_ms = time_reps reps_build (fun () -> Rtree.Tree.build ~max_leaves:50 ds);
+      ck_ref_median_ms =
+        time_reps reps_build (fun () -> Rtree.Tree.Reference.build ~max_leaves:50 ds);
+    }
+  in
+  let cv_curve =
+    let rng () = Stats.Rng.create 7 in
+    {
+      ck_name = "cv_curve";
+      ck_reps = reps_cv;
+      ck_median_ms =
+        time_reps reps_cv (fun () ->
+            Rtree.Cv.relative_error_curve ~folds:10 ~kmax:50 (rng ()) ds);
+      ck_ref_median_ms =
+        time_reps reps_cv (fun () ->
+            Rtree.Cv.Reference.relative_error_curve ~folds:10 ~kmax:50 (rng ()) ds);
+    }
+  in
+  let predict_k_sweep =
+    let t = Rtree.Tree.build ~max_leaves:50 ds in
+    let kmax = 50 in
+    let rows = ds.Rtree.Dataset.rows in
+    let sweep_all () =
+      let acc = ref 0.0 in
+      Array.iter
+        (fun r -> Rtree.Tree.sweep_k t ~kmax r ~f:(fun _ v -> acc := !acc +. v))
+        rows;
+      !acc
+    in
+    let predict_all () =
+      let acc = ref 0.0 in
+      Array.iter
+        (fun r ->
+          for k = 1 to kmax do
+            acc := !acc +. Rtree.Tree.predict_k t ~k r
+          done)
+        rows;
+      !acc
+    in
+    (* Sub-millisecond per pass: batch 50 passes per rep so gettimeofday
+       resolution stays negligible. *)
+    let batched f () =
+      for _ = 1 to 49 do
+        ignore (Sys.opaque_identity (f ()))
+      done;
+      f ()
+    in
+    {
+      ck_name = "predict_k_sweep";
+      ck_reps = reps_sweep;
+      ck_median_ms = time_reps reps_sweep (batched sweep_all);
+      ck_ref_median_ms = time_reps reps_sweep (batched predict_all);
+    }
+  in
+  (calib_ms, [ tree_build; cv_curve; predict_k_sweep ])
+
+let core_json (calib_ms, kernels) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"core_kernels\",\n";
+  Buffer.add_string b "  \"schema_version\": 1,\n";
+  Buffer.add_string b
+    "  \"dataset\": {\"rows\": 128, \"features\": 2000, \"nnz_per_row\": 60, \"seed\": 99},\n";
+  Printf.bprintf b "  \"calibration_ms\": %.4f,\n" calib_ms;
+  Buffer.add_string b "  \"kernels\": [\n";
+  List.iteri
+    (fun i k ->
+      Printf.bprintf b
+        "    {\"name\": %S, \"reps\": %d, \"median_ms\": %.4f, \"ref_median_ms\": %.4f, \
+         \"speedup_vs_ref\": %.3f}%s\n"
+        k.ck_name k.ck_reps k.ck_median_ms k.ck_ref_median_ms (ck_speedup k)
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let print_core_kernels (calib_ms, kernels) =
+  print_endline "core kernels (median wall-clock, optimized vs reference):";
+  Printf.printf "  calibration: %.2f ms\n" calib_ms;
+  List.iter
+    (fun k ->
+      Printf.printf "  %-16s %10.2f ms  ref %10.2f ms  speedup %5.2fx  (%d reps)\n" k.ck_name
+        k.ck_median_ms k.ck_ref_median_ms (ck_speedup k) k.ck_reps)
+    kernels;
+  print_newline ()
+
 (* ----------------------------- bechamel ----------------------------- *)
 
 let quick_cfg = Fuzzy.Analysis.quick
@@ -402,14 +544,22 @@ let () =
   let bench_only = List.mem "--bench-only" args in
   let experiments_only = List.mem "--experiments-only" args in
   let quick = List.mem "--quick" args in
-  let jobs = jobs_of_args args in
-  (* Serve first: it forks a server child, which is only safe while no
-     worker domains have been spawned in this process. *)
-  if not experiments_only then run_serve_report ();
-  if not bench_only then run_experiments (experiment_config ~quick ~jobs);
-  if not experiments_only then begin
-    let w0 = Unix.gettimeofday () in
-    run_benchmarks ();
-    run_online_report ();
-    Printf.printf "[benchmark phase: %.1fs wall]\n%!" (Unix.gettimeofday () -. w0)
+  let json = List.mem "--json" args in
+  if json then
+    (* Gate mode: only the core kernels, JSON on stdout and nothing else
+       (`bench/main.exe -- --quick --json > BENCH_core.fresh.json`). *)
+    print_string (core_json (run_core_kernels ~quick))
+  else begin
+    let jobs = jobs_of_args args in
+    (* Serve first: it forks a server child, which is only safe while no
+       worker domains have been spawned in this process. *)
+    if not experiments_only then run_serve_report ();
+    if not bench_only then run_experiments (experiment_config ~quick ~jobs);
+    if not experiments_only then begin
+      let w0 = Unix.gettimeofday () in
+      print_core_kernels (run_core_kernels ~quick);
+      run_benchmarks ();
+      run_online_report ();
+      Printf.printf "[benchmark phase: %.1fs wall]\n%!" (Unix.gettimeofday () -. w0)
+    end
   end

@@ -7,28 +7,16 @@ type curve = {
 
 let near_zero_variance = 1e-12
 
-let relative_error_curve ?pool ?(folds = 10) ?(kmax = 50) ?(min_leaf = 1) rng (data : Dataset.t) =
+(* Shared CV skeleton: the fold partition is drawn from [rng] before any
+   fan-out, and each fold is a pure task returning its own partial error
+   sums; the merge below runs in fold order, so the curve is bit-identical
+   whether the folds execute serially or on a pool — and whichever
+   [fold_sums] implementation computes the partials. *)
+let curve_of_fold_sums ~fold_sums ?pool ~folds ~kmax rng (data : Dataset.t) =
   let n = Dataset.n data in
   let folds = max 2 (min folds n) in
   let variance = Dataset.y_variance data in
-  (* The fold partition is drawn from [rng] before any fan-out, and each
-     fold is a pure task returning its own partial error sums; the merge
-     below runs in fold order, so the curve is bit-identical whether the
-     folds execute serially or on a pool. *)
   let fold_parts = Stats.Folds.make rng ~n ~k:folds in
-  let fold_sums { Stats.Folds.train; test } =
-    let sums = Array.make kmax 0.0 in
-    let tree = Tree.build ~min_leaf ~max_leaves:kmax (Dataset.restrict data train) in
-    Array.iter
-      (fun i ->
-        let row = data.Dataset.rows.(i) and y = data.Dataset.y.(i) in
-        for ki = 0 to kmax - 1 do
-          let err = y -. Tree.predict_k tree ~k:(ki + 1) row in
-          sums.(ki) <- sums.(ki) +. (err *. err)
-        done)
-      test;
-    sums
-  in
   let partials =
     match pool with
     | Some p -> Parallel.Pool.map p fold_sums fold_parts
@@ -44,6 +32,43 @@ let relative_error_curve ?pool ?(folds = 10) ?(kmax = 50) ?(min_leaf = 1) rng (d
     else Array.map (fun ek -> ek /. variance) e
   in
   { k_values = Array.init kmax (fun i -> i + 1); e; re; variance }
+
+let relative_error_curve ?pool ?(folds = 10) ?(kmax = 50) ?(min_leaf = 1) rng (data : Dataset.t) =
+  let fold_sums { Stats.Folds.train; test } =
+    let sums = Array.make kmax 0.0 in
+    let tree = Tree.build ~min_leaf ~max_leaves:kmax (Dataset.restrict data train) in
+    (* One descent per test row covers every k (Tree.sweep_k); the sums
+       accumulate per k in test-row order, exactly as the per-k predict_k
+       loop in Reference does, so the partials are bit-identical. *)
+    Array.iter
+      (fun i ->
+        let row = data.Dataset.rows.(i) and y = data.Dataset.y.(i) in
+        Tree.sweep_k tree ~kmax row ~f:(fun k pred ->
+            let err = y -. pred in
+            sums.(k - 1) <- sums.(k - 1) +. (err *. err)))
+      test;
+    sums
+  in
+  curve_of_fold_sums ~fold_sums ?pool ~folds ~kmax rng data
+
+module Reference = struct
+  let relative_error_curve ?pool ?(folds = 10) ?(kmax = 50) ?(min_leaf = 1) rng
+      (data : Dataset.t) =
+    let fold_sums { Stats.Folds.train; test } =
+      let sums = Array.make kmax 0.0 in
+      let tree = Tree.Reference.build ~min_leaf ~max_leaves:kmax (Dataset.restrict data train) in
+      Array.iter
+        (fun i ->
+          let row = data.Dataset.rows.(i) and y = data.Dataset.y.(i) in
+          for ki = 0 to kmax - 1 do
+            let err = y -. Tree.predict_k tree ~k:(ki + 1) row in
+            sums.(ki) <- sums.(ki) +. (err *. err)
+          done)
+        test;
+      sums
+    in
+    curve_of_fold_sums ~fold_sums ?pool ~folds ~kmax rng data
+end
 
 let training_error_curve ?(kmax = 50) ?(min_leaf = 1) (data : Dataset.t) =
   let n = Dataset.n data in

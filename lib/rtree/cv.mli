@@ -30,7 +30,27 @@ val relative_error_curve :
     When [pool] is given, the per-fold tree builds run on it.  The fold
     partition is drawn before fan-out and the per-fold partial sums are
     merged in fold order, so the curve is bit-identical for any [pool]
-    (including none at all) given the same [rng] seed. *)
+    (including none at all) given the same [rng] seed.
+
+    Hot path: trees are grown by the presorted-column {!Tree.build} and
+    every held-out row is dropped through all of T_1..T_kmax in a single
+    descent ({!Tree.sweep_k}), O(depth + kmax) per row rather than
+    O(depth * kmax). *)
+
+module Reference : sig
+  val relative_error_curve :
+    ?pool:Parallel.Pool.t ->
+    ?folds:int ->
+    ?kmax:int ->
+    ?min_leaf:int ->
+    Stats.Rng.t ->
+    Dataset.t ->
+    curve
+  (** The pre-optimization implementation — {!Tree.Reference.build} per
+      fold and one {!Tree.predict_k} walk per (row, k).  Bit-identical to
+      {!val:relative_error_curve} (QCheck-asserted); kept as the oracle
+      and as the [cv_curve] bench kernel's reference side. *)
+end
 
 val training_error_curve : ?kmax:int -> ?min_leaf:int -> Dataset.t -> curve
 (** Resubstitution (no held-out data) baseline: RE is non-increasing in k.

@@ -18,3 +18,6 @@ let y_variance t = Stats.Describe.variance t.y
 
 let restrict t indices =
   make ~rows:(Array.map (fun i -> t.rows.(i)) indices) ~y:(Array.map (fun i -> t.y.(i)) indices)
+
+let total_nnz t =
+  Array.fold_left (fun acc r -> acc + Stats.Sparse_vec.nnz r) 0 t.rows

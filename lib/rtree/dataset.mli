@@ -22,3 +22,7 @@ val y_variance : t -> float
 
 val restrict : t -> int array -> t
 (** Subset of rows by index (used to carve cross-validation folds). *)
+
+val total_nnz : t -> int
+(** Total stored entries across all rows — the size of the column scratch
+    one tree build needs ({!Tree.build} allocates its arena from this). *)

@@ -31,16 +31,25 @@ let of_dense a =
 let nnz t = Array.length t.idx
 
 let get t i =
-  (* Binary search over the sorted index array. *)
-  let rec go lo hi =
-    if lo > hi then 0.0
-    else
-      let mid = (lo + hi) / 2 in
-      if t.idx.(mid) = i then t.v.(mid)
-      else if t.idx.(mid) < i then go (mid + 1) hi
-      else go lo (mid - 1)
-  in
-  go 0 (Array.length t.idx - 1)
+  (* Iterative binary search over the sorted index array: this is the
+     single hottest lookup in the tree grower (row routing at every
+     split) and in prediction, so it avoids call overhead and bounds
+     checks on the probe. *)
+  let idx = t.idx in
+  let lo = ref 0 and hi = ref (Array.length idx - 1) in
+  let res = ref 0.0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    let m = Array.unsafe_get idx mid in
+    if m = i then begin
+      res := Array.unsafe_get t.v mid;
+      lo := 1;
+      hi := 0
+    end
+    else if m < i then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
 
 let max_index t = if nnz t = 0 then -1 else t.idx.(nnz t - 1)
 

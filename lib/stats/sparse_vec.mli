@@ -27,7 +27,9 @@ val nnz : t -> int
 (** Number of stored (non-zero) entries. *)
 
 val get : t -> int -> float
-(** [get v i] is 0 for absent indices. *)
+(** [get v i] is 0 for absent indices.  O(log nnz) iterative binary
+    search — this is the tree grower's row-routing primitive and the
+    per-node probe of prediction, so it is kept branch-light. *)
 
 val max_index : t -> int
 (** Largest stored index; -1 for the empty vector. *)

@@ -8,40 +8,89 @@
 #
 # Uses the built binary directly (not `dune exec`) so the background
 # server and the foreground client don't fight over the dune lock.
+#
+# Every step is bounded: client calls run under `timeout` (when the
+# platform has it) and the final server drain is a polled wait, so a
+# wedged server fails the smoke with diagnostics instead of hanging CI
+# until the job-level kill.
 set -eu
 
 EXE=_build/default/bin/repro.exe
 OUT=_build/serve-smoke
 SOCK="${TMPDIR:-/tmp}/repro-smoke-$$.sock"
+STEP_TIMEOUT="${SERVE_SMOKE_TIMEOUT:-120}"   # seconds per client step
+DRAIN_TIMEOUT="${SERVE_SMOKE_DRAIN:-30}"     # seconds for server exit after shutdown
 
 [ -x "$EXE" ] || { echo "serve-smoke: $EXE not built (run dune build @all)" >&2; exit 1; }
 mkdir -p "$OUT"
 rm -f "$SOCK"
+
+# Dump what the server said before failing — a hung or crashed server is
+# useless to debug from "cmp: EOF".
+diagnostics() {
+    echo "serve-smoke: ---- server.out (tail) ----" >&2
+    tail -n 40 "$OUT/server.out" >&2 2>/dev/null || true
+    echo "serve-smoke: ---- server.err (tail) ----" >&2
+    tail -n 40 "$OUT/server.err" >&2 2>/dev/null || true
+}
+
+fail() {
+    echo "serve-smoke: $1" >&2
+    diagnostics
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    exit 1
+}
+
+# Run a client step under a bounded wall clock.  `timeout` is in
+# coreutils and busybox; if some exotic host lacks it, run unbounded
+# rather than skip the step.
+bounded() {
+    if command -v timeout > /dev/null 2>&1; then
+        timeout "$STEP_TIMEOUT" "$@"
+    else
+        "$@"
+    fi
+}
 
 "$EXE" serve --quick --socket "$SOCK" --jobs 2 > "$OUT/server.out" 2> "$OUT/server.err" &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
 
 # --wait retries while the server is still binding the socket.
-"$EXE" client --wait --socket "$SOCK" analyze gcc > "$OUT/served-analyze.out"
-"$EXE" client --socket "$SOCK" stats > "$OUT/stats.out"
-grep -q "requests.total" "$OUT/stats.out" || {
-  echo "serve-smoke: stats response missing requests.total" >&2; exit 1; }
+bounded "$EXE" client --wait --socket "$SOCK" analyze gcc > "$OUT/served-analyze.out" \
+  || fail "client analyze failed or timed out (${STEP_TIMEOUT}s)"
+bounded "$EXE" client --socket "$SOCK" stats > "$OUT/stats.out" \
+  || fail "client stats failed or timed out (${STEP_TIMEOUT}s)"
+grep -q "requests.total" "$OUT/stats.out" \
+  || fail "stats response missing requests.total"
 
 # `repro serve --status` renders the same snapshot without serving.
-"$EXE" serve --status --socket "$SOCK" > "$OUT/status.out"
-grep -q "serve metrics" "$OUT/status.out" || {
-  echo "serve-smoke: serve --status did not render metrics" >&2; exit 1; }
+bounded "$EXE" serve --status --socket "$SOCK" > "$OUT/status.out" \
+  || fail "serve --status failed or timed out (${STEP_TIMEOUT}s)"
+grep -q "serve metrics" "$OUT/status.out" \
+  || fail "serve --status did not render metrics"
 
-# Graceful shutdown: the server must drain and exit 0 on its own.
-"$EXE" client --socket "$SOCK" shutdown > /dev/null
-wait "$SERVER_PID" || { echo "serve-smoke: server exited non-zero" >&2; exit 1; }
+# Graceful shutdown: the server must drain and exit 0 on its own within
+# the drain budget.  Poll instead of a bare `wait` so a wedged drain
+# cannot hang the smoke.
+bounded "$EXE" client --socket "$SOCK" shutdown > /dev/null \
+  || fail "client shutdown failed or timed out (${STEP_TIMEOUT}s)"
+waited=0
+while kill -0 "$SERVER_PID" 2>/dev/null; do
+    if [ "$waited" -ge "$DRAIN_TIMEOUT" ]; then
+        fail "server still running ${DRAIN_TIMEOUT}s after shutdown request"
+    fi
+    sleep 1
+    waited=$((waited + 1))
+done
+wait "$SERVER_PID" || fail "server exited non-zero"
 trap 'rm -f "$SOCK"' EXIT
 
 # The served report must be byte-identical to the offline CLI at the
 # same analysis configuration (jobs is excluded from the cache key and
 # must not affect output).
 JOBS=1 "$EXE" analyze --quick gcc > "$OUT/offline-analyze.out"
-cmp "$OUT/served-analyze.out" "$OUT/offline-analyze.out"
+cmp "$OUT/served-analyze.out" "$OUT/offline-analyze.out" \
+  || fail "served analyze differs from offline analyze"
 
 echo "serve-smoke: served analyze byte-identical to offline analyze"

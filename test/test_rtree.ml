@@ -229,6 +229,120 @@ let test_training_error_curve_monotone () =
       (curve.Cv.re.(i) <= curve.Cv.re.(i - 1) +. 1e-9)
   done
 
+(* ------------- fast-path equivalence (DESIGN.md §12) ---------------- *)
+
+(* The optimized grower (arena + per-segment position sort) and CV sweep
+   (single-descent sweep_k) must be BIT-identical to the reference
+   implementations they replaced — not approximately equal: equal-gain
+   split selection makes even ulp differences macroscopic.  Generated
+   datasets mimic EIPVs: sparse rows, small integer counts, many ties. *)
+
+let gen_sparse_params =
+  QCheck2.Gen.(
+    quad (int_range 8 60) (int_range 2 40) (int_range 0 12) (int_range 0 10_000))
+
+let make_sparse_dataset (n, features, nnz, seed) =
+  let rng = Stats.Rng.create seed in
+  let rows =
+    Array.init n (fun _ ->
+        sv
+          (List.init nnz (fun _ ->
+               (Stats.Rng.int rng features, float_of_int (1 + Stats.Rng.int rng 6)))))
+  in
+  let y = Array.init n (fun _ -> Stats.Rng.float rng 10.0) in
+  Dataset.make ~rows ~y
+
+let bits = Int64.bits_of_float
+
+let rec same_node a b =
+  match (a, b) with
+  | Tree.Leaf { mean = m1; n = n1 }, Tree.Leaf { mean = m2; n = n2 } ->
+      n1 = n2 && bits m1 = bits m2
+  | Tree.Split s1, Tree.Split s2 ->
+      s1.feature = s2.feature && s1.rank = s2.rank && s1.n = s2.n
+      && bits s1.threshold = bits s2.threshold
+      && bits s1.mean = bits s2.mean && same_node s1.left s2.left
+      && same_node s1.right s2.right
+  | _ -> false
+
+let prop_build_equals_reference =
+  QCheck2.Test.make ~name:"Tree.build node-for-node bitwise == Reference.build" ~count:200
+    gen_sparse_params (fun params ->
+      let ds = make_sparse_dataset params in
+      same_node
+        (Tree.root (Tree.build ~max_leaves:16 ds))
+        (Tree.root (Tree.Reference.build ~max_leaves:16 ds)))
+
+let prop_sweep_k_equals_predict_k =
+  QCheck2.Test.make ~name:"sweep_k == predict_k for every k" ~count:100 gen_sparse_params
+    (fun params ->
+      let ds = make_sparse_dataset params in
+      let t = Tree.build ~max_leaves:12 ds in
+      let kmax = 15 in
+      Array.for_all
+        (fun row ->
+          let ok = ref true in
+          Tree.sweep_k t ~kmax row ~f:(fun k v ->
+              if bits v <> bits (Tree.predict_k t ~k row) then ok := false);
+          !ok)
+        ds.Dataset.rows)
+
+let curves_bitwise_equal a b =
+  Array.for_all2 (fun x y -> bits x = bits y) a.Cv.e b.Cv.e
+  && Array.for_all2 (fun x y -> bits x = bits y) a.Cv.re b.Cv.re
+  && bits a.Cv.variance = bits b.Cv.variance
+
+let prop_cv_equals_reference =
+  QCheck2.Test.make ~name:"Cv.relative_error_curve bitwise == Reference" ~count:40
+    gen_sparse_params (fun params ->
+      let ds = make_sparse_dataset params in
+      curves_bitwise_equal
+        (Cv.relative_error_curve ~folds:5 ~kmax:12 (Stats.Rng.create 23) ds)
+        (Cv.Reference.relative_error_curve ~folds:5 ~kmax:12 (Stats.Rng.create 23) ds))
+
+let prop_cv_pooled_equals_reference =
+  (* The pooled fast path at 1 and 4 domains must also match the serial
+     reference — the optimization must not disturb fold-order merging. *)
+  QCheck2.Test.make ~name:"Cv pooled (jobs 1 and 4) bitwise == Reference" ~count:15
+    gen_sparse_params (fun params ->
+      let ds = make_sparse_dataset params in
+      let refc = Cv.Reference.relative_error_curve ~folds:5 ~kmax:10 (Stats.Rng.create 29) ds in
+      let fast pool =
+        Cv.relative_error_curve ~pool ~folds:5 ~kmax:10 (Stats.Rng.create 29) ds
+      in
+      curves_bitwise_equal (fast (Parallel.Pool.shared ~jobs:1)) refc
+      && curves_bitwise_equal (fast (Parallel.Pool.shared ~jobs:4)) refc)
+
+(* Regression pin: the full RE curve of a real workload (gzip at the
+   quick configuration), as exact float bit patterns captured before the
+   hot-path rewrite.  Any future "optimization" that perturbs the grower
+   or the sweep by a single ulp breaks this test. *)
+let gzip_quick_re_bits =
+  [|
+    0x3ff0b1f5407e4cc3L; 0x3ff0624616ff8be2L; 0x3ff088e42e180cbcL; 0x3ff09e3a81bb526cL;
+    0x3ff0a8d842c0e70dL; 0x3ff0b000d322de3dL; 0x3ff0b9948df9d552L; 0x3ff0c2ace8412741L;
+    0x3ff0ccb250a3d3bbL; 0x3ff0ccf9e126ac3cL; 0x3ff0d5eb1919a243L; 0x3ff0de97c9d2a502L;
+    0x3ff0df2f5f311ae8L; 0x3ff0eb69d0c91459L; 0x3ff0eab07938a964L; 0x3ff0eaa75004d065L;
+    0x3ff0eb01609c26dcL; 0x3ff0eade542ac281L; 0x3ff0cfe406e4d259L; 0x3ff0d0671a237925L;
+    0x3ff0cf3bcfd0bcb7L; 0x3ff0cf2adc156ba3L; 0x3ff0cf084c632722L; 0x3ff0ceb35fd597fcL;
+    0x3ff0ceb1f3898affL;
+  |]
+
+let test_gzip_quick_curve_pinned () =
+  let a = Fuzzy.Experiments.analyze_cached Fuzzy.Analysis.quick "gzip" in
+  let c = a.Fuzzy.Analysis.curve in
+  Alcotest.(check int) "kmax" (Array.length gzip_quick_re_bits) (Array.length c.Cv.re);
+  Alcotest.(check int64)
+    "Var(CPI) bits" 0x3f9fbe4954f76a93L
+    (bits c.Cv.variance);
+  Array.iteri
+    (fun i expected ->
+      Alcotest.(check int64)
+        (Printf.sprintf "RE_%d bits" (i + 1))
+        expected
+        (bits c.Cv.re.(i)))
+    gzip_quick_re_bits
+
 let prop_predict_k_between =
   (* For any k, predict_k returns the mean of SOME ancestor node: it lies
      within [min y, max y] of the training data. *)
@@ -267,6 +381,16 @@ let () =
         :: Alcotest.test_case "deterministic" `Quick test_tree_deterministic
         :: Alcotest.test_case "depth" `Quick test_depth_positive
         :: qcheck [ prop_predict_k_between ] );
+      ( "fast_path_equivalence",
+        Alcotest.test_case "gzip quick RE curve pinned (bitwise)" `Quick
+          test_gzip_quick_curve_pinned
+        :: qcheck
+             [
+               prop_build_equals_reference;
+               prop_sweep_k_equals_predict_k;
+               prop_cv_equals_reference;
+               prop_cv_pooled_equals_reference;
+             ] );
       ("paper_example", [ Alcotest.test_case "figure 1 tree" `Quick test_paper_example_tree ]);
       ( "cv",
         [
