@@ -1,6 +1,6 @@
 # Convenience targets mirroring CI.
 
-.PHONY: build check test bench bench-gate bench-baseline lint serve-smoke clean
+.PHONY: build check test bench bench-gate bench-baseline lint serve-smoke zoo-atlas zoo-baseline clean
 
 # @all also builds the examples and benches, so they cannot bitrot.
 build:
@@ -26,6 +26,10 @@ check: build lint serve-smoke
 	if dune exec bin/repro.exe -- lint --json --root test/lint_fixtures > _build/lint-fixtures.json 2>/dev/null; \
 	  then echo "lint fixtures unexpectedly clean" >&2; exit 1; fi
 	cmp _build/lint-fixtures.json test/lint_fixtures/golden.json
+	dune exec bin/repro.exe -- zoo atlas --quick --jobs 1 > _build/zoo-atlas-j1.out
+	dune exec bin/repro.exe -- zoo atlas --quick --jobs 4 > _build/zoo-atlas-j4.out
+	cmp _build/zoo-atlas-j1.out _build/zoo-atlas-j4.out
+	cmp _build/zoo-atlas-j1.out test/golden/zoo-atlas-quick.out
 
 # Static determinism & hygiene gate (rules D001-D008, DESIGN.md §10).
 lint: build
@@ -55,6 +59,21 @@ bench-gate: build
 bench-baseline: build
 	dune exec bench/main.exe -- --quick --json > BENCH_core.json
 	@echo "wrote BENCH_core.json; review and commit it"
+
+# Workload-zoo characterization gate: regenerate the quick-subset quadrant
+# atlas at jobs 1 and 4 and compare both byte-for-byte against the
+# committed golden (the same gate `make check` and CI run).
+zoo-atlas: build
+	dune exec bin/repro.exe -- zoo atlas --quick --jobs 1 > _build/zoo-atlas-j1.out
+	dune exec bin/repro.exe -- zoo atlas --quick --jobs 4 > _build/zoo-atlas-j4.out
+	cmp _build/zoo-atlas-j1.out _build/zoo-atlas-j4.out
+	cmp _build/zoo-atlas-j1.out test/golden/zoo-atlas-quick.out
+
+# Refresh the committed golden atlas after an intentional pipeline or
+# zoo change (then review the diff and commit it).
+zoo-baseline: build
+	dune exec bin/repro.exe -- zoo atlas --quick --jobs 1 > test/golden/zoo-atlas-quick.out
+	@echo "wrote test/golden/zoo-atlas-quick.out; review and commit it"
 
 clean:
 	dune clean

@@ -539,13 +539,46 @@ let jobs_of_args args =
   in
   go args
 
+(* Atlas throughput: wall-clock for the zoo characterization sweep at
+   reduced fidelity, serial vs pooled.  Deliberately not part of the
+   gated core-kernel JSON (scripts/bench_gate.sh matches kernels by
+   name against the committed baseline); run it explicitly with
+   `bench/main.exe -- --zoo`. *)
+let run_zoo_report () =
+  let scenarios = Zoo.Scenarios.quick () in
+  let config jobs =
+    {
+      Fuzzy.Analysis.quick with
+      Fuzzy.Analysis.intervals = 16;
+      samples_per_interval = 20;
+      kmax = 8;
+      scale = 0.1;
+      jobs;
+    }
+  in
+  List.iter
+    (fun jobs ->
+      let w0 = Unix.gettimeofday () in
+      match Zoo.Atlas.rows (config jobs) scenarios with
+      | Ok rows ->
+          let dt = Unix.gettimeofday () -. w0 in
+          Printf.printf
+            "zoo atlas throughput (%d scenarios, jobs=%d): %.2fs wall, %.1f scenarios/sec\n%!"
+            (List.length rows) jobs dt
+            (float_of_int (List.length rows) /. dt)
+      | Error e ->
+          Printf.eprintf "zoo atlas benchmark failed: %s\n" e;
+          exit 1)
+    [ 1; 4 ]
+
 let () =
   let args = Array.to_list Sys.argv in
   let bench_only = List.mem "--bench-only" args in
   let experiments_only = List.mem "--experiments-only" args in
   let quick = List.mem "--quick" args in
   let json = List.mem "--json" args in
-  if json then
+  if List.mem "--zoo" args then run_zoo_report ()
+  else if json then
     (* Gate mode: only the core kernels, JSON on stdout and nothing else
        (`bench/main.exe -- --quick --json > BENCH_core.fresh.json`). *)
     print_string (core_json (run_core_kernels ~quick))

@@ -5,7 +5,18 @@
 
 open Cmdliner
 
-let config_term =
+(* Shared diagnostic for a mistyped workload name: every entry point
+   (analyze, quadrant, stream, client ingest) lists the valid names and
+   exits non-zero instead of dying on an uncaught exception. *)
+let unknown_workload name =
+  Printf.eprintf "unknown workload %S; valid names:\n" name;
+  Array.iter (fun n -> Printf.eprintf "  %s\n" n) Workload.Catalog.names;
+  exit 1
+
+(* Returns (config, quick): most commands only want the config, but
+   `zoo atlas' reuses the --quick flag to also select the quick scenario
+   subset, and cmdliner forbids registering the flag twice. *)
+let config_quick_term =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Use the reduced test-scale configuration.")
   in
@@ -55,11 +66,16 @@ let config_term =
       | Some s -> { base with Fuzzy.Analysis.samples_per_interval = s }
       | None -> base
     in
-    match jobs with
-    | Some j when j >= 1 -> { base with Fuzzy.Analysis.jobs = j }
-    | Some _ | None -> base
+    let base =
+      match jobs with
+      | Some j when j >= 1 -> { base with Fuzzy.Analysis.jobs = j }
+      | Some _ | None -> base
+    in
+    (base, quick)
   in
   Term.(const build $ quick $ seed $ scale $ intervals $ spi $ machine $ jobs)
+
+let config_term = Term.(const fst $ config_quick_term)
 
 let list_cmd =
   let run () =
@@ -106,11 +122,9 @@ let analyze_cmd =
   let run config names =
     List.iter
       (fun name ->
-        match Workload.Catalog.find name with
-        | exception Not_found ->
-            Printf.eprintf "unknown workload %S; try `repro workloads`\n" name;
-            exit 1
-        | _ ->
+        match Workload.Catalog.find_opt name with
+        | None -> unknown_workload name
+        | Some _ ->
             let a = Fuzzy.Experiments.analyze_cached config name in
             (* One renderer shared with the serve Analyze RPC, so server
                responses are byte-identical to this output. *)
@@ -119,6 +133,40 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze individual workloads end to end.")
+    Term.(const run $ config_term $ names)
+
+let quadrant_cmd =
+  let names =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"WORKLOAD" ~doc:"Catalog workload names.")
+  in
+  let run config names =
+    List.iter
+      (fun name ->
+        match Workload.Catalog.find_opt name with
+        | None -> unknown_workload name
+        | Some _ ->
+            let a = Fuzzy.Experiments.analyze_cached config name in
+            (* Rendered through the serve protocol so the offline verdict
+               is byte-identical to the Quadrant RPC's response. *)
+            print_string
+              (Serve.Protocol.render_response
+                 (Serve.Protocol.Quadrant_verdict
+                    {
+                      workload = name;
+                      quadrant = a.Fuzzy.Analysis.quadrant;
+                      cpi_variance = a.Fuzzy.Analysis.cpi_variance;
+                      re_kopt = a.Fuzzy.Analysis.re_kopt;
+                      kopt = a.Fuzzy.Analysis.kopt;
+                      technique =
+                        Fuzzy.Techniques.(to_string (recommend a.Fuzzy.Analysis.quadrant));
+                    })))
+      names
+  in
+  Cmd.v
+    (Cmd.info "quadrant"
+       ~doc:
+         "Print just the quadrant verdict and recommended sampling technique for workloads, \
+          byte-identical to the server's `quadrant' RPC.")
     Term.(const run $ config_term $ names)
 
 let stream_cmd =
@@ -159,11 +207,9 @@ let stream_cmd =
     in
     List.iter
       (fun name ->
-        match Workload.Catalog.find name with
-        | exception Not_found ->
-            Printf.eprintf "unknown workload %S; try `repro workloads`\n" name;
-            exit 1
-        | _ ->
+        match Workload.Catalog.find_opt name with
+        | None -> unknown_workload name
+        | Some _ ->
             let on_verdict v =
               if not no_trace then Format.printf "%a@." Online.Classifier.pp_verdict v
             in
@@ -368,9 +414,9 @@ let client_cmd =
      feed it over the wire in batches, printing the verdict trace the
      server returns, then the final fit. *)
   let ingest config conn name =
-    match Workload.Catalog.find name with
-    | exception Not_found -> fail (Printf.sprintf "unknown workload %S; try `repro workloads`" name)
-    | entry ->
+    match Workload.Catalog.find_opt name with
+    | None -> unknown_workload name
+    | Some entry ->
         let model =
           entry.Workload.Catalog.build ~seed:config.Fuzzy.Analysis.seed
             ~scale:config.Fuzzy.Analysis.scale
@@ -449,6 +495,136 @@ let workloads_cmd =
     (Cmd.info "workloads" ~doc:"List the 50 catalog workloads.")
     Term.(const run $ const ())
 
+(* ---- workload zoo ----------------------------------------------------- *)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  nn = 0
+  ||
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let zoo_filter_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "filter" ] ~docv:"SUBSTR" ~doc:"Only scenarios whose name contains $(docv).")
+
+let zoo_json_term =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+
+let zoo_select ~quick ~all ~filter =
+  let base = if quick && not all then Zoo.Scenarios.quick () else Zoo.Scenarios.all () in
+  match filter with
+  | None -> base
+  | Some sub ->
+      List.filter (fun s -> contains_sub s.Zoo.Scenarios.manifest.Zoo.Manifest.name sub) base
+
+let zoo_all_term =
+  Arg.(
+    value & flag
+    & info [ "all" ]
+        ~doc:
+          "With --quick: keep the quick analysis configuration but run every scenario, not \
+           just the representative subset (used to produce the full-atlas CI artifact).")
+
+let zoo_list_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"List only the representative quick subset of the zoo.")
+  in
+  let run quick all filter json =
+    let scenarios = zoo_select ~quick ~all ~filter in
+    if json then begin
+      Printf.printf "{\n  \"count\": %d,\n  \"manifests\": [\n" (List.length scenarios);
+      let last = List.length scenarios - 1 in
+      List.iteri
+        (fun i s ->
+          Printf.printf "    \"%s\"%s\n"
+            (Zoo.Manifest.encode s.Zoo.Scenarios.manifest)
+            (if i = last then "" else ","))
+        scenarios;
+      print_string "  ]\n}\n"
+    end
+    else
+      List.iter
+        (fun s -> print_endline (Zoo.Manifest.encode s.Zoo.Scenarios.manifest))
+        scenarios
+  in
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:
+         "Print one manifest line per zoo scenario.  Each line is sufficient to rebuild the \
+          scenario bit-for-bit.")
+    Term.(const run $ quick $ zoo_all_term $ zoo_filter_term $ zoo_json_term)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let zoo_gen_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Generate only the representative quick subset of the zoo.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string (Filename.concat "_build" "zoo-manifests")
+      & info [ "out" ] ~docv:"DIR" ~doc:"Directory to write one .manifest file per scenario.")
+  in
+  let run quick all filter out =
+    let scenarios = zoo_select ~quick ~all ~filter in
+    mkdir_p out;
+    List.iter
+      (fun s ->
+        let m = s.Zoo.Scenarios.manifest in
+        let path = Filename.concat out (m.Zoo.Manifest.name ^ ".manifest") in
+        let oc = open_out path in
+        output_string oc (Zoo.Manifest.encode m);
+        output_char oc '\n';
+        close_out oc)
+      scenarios;
+    Printf.printf "wrote %d manifests to %s\n" (List.length scenarios) out
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Write each scenario's manifest to a file under --out.")
+    Term.(const run $ quick $ zoo_all_term $ zoo_filter_term $ out)
+
+let zoo_atlas_cmd =
+  let run (config, quick) all filter json =
+    let scenarios = zoo_select ~quick ~all ~filter in
+    match Zoo.Atlas.rows config scenarios with
+    | Error msg ->
+        Printf.eprintf "zoo atlas: %s\n" msg;
+        exit 1
+    | Ok rows ->
+        print_string
+          (if json then Zoo.Atlas.render_json config rows else Zoo.Atlas.render config rows)
+  in
+  Cmd.v
+    (Cmd.info "atlas"
+       ~doc:
+         "Run scenarios through the pooled predictability pipeline and print the quadrant \
+          atlas: per-scenario CPI variance, RE, quadrant verdict and recommended sampling \
+          technique.  --quick analyzes the representative subset at the reduced \
+          configuration (add --all to keep the reduced configuration but cover every \
+          scenario).  Output is bit-identical for every --jobs value.")
+    Term.(const run $ config_quick_term $ zoo_all_term $ zoo_filter_term $ zoo_json_term)
+
+let zoo_cmd =
+  Cmd.group
+    (Cmd.info "zoo"
+       ~doc:
+         "The generated workload zoo: 200+ deterministic scenarios (working-set sweeps, \
+          OLTP/DSS mixes, drift schedules, key skews, multi-tenant interleavings) with \
+          serialized manifests and a golden-compared quadrant atlas.")
+    [ zoo_list_cmd; zoo_gen_cmd; zoo_atlas_cmd ]
+
 let () =
   let info =
     Cmd.info "repro" ~version:"1.0.0"
@@ -464,6 +640,8 @@ let () =
             run_cmd;
             all_cmd;
             analyze_cmd;
+            quadrant_cmd;
+            zoo_cmd;
             stream_cmd;
             serve_cmd;
             client_cmd;

@@ -32,9 +32,9 @@ let build_index space ~rows ~node_bytes =
   Btree.bulk_load bt (Array.init rows (fun k -> (k, scatter_value ~rows k)));
   bt
 
-let create ?(scale = 1.0) ?(buf_pages = 4096) ~seed () =
+let create ?(scale = 1.0) ?(buf_pages = 4096) ?addr_base ~seed () =
   if scale <= 0.0 then invalid_arg "Tpch.create: scale must be positive";
-  let space = Addr_space.create () in
+  let space = Addr_space.create ?base:addr_base () in
   let rng = Rng.create seed in
   let buf = Bufcache.create ~pages:buf_pages ~page_bytes:8192 in
   let rows base = max 64 (int_of_float (float_of_int base *. scale)) in

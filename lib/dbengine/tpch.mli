@@ -19,9 +19,11 @@
 
 type db
 
-val create : ?scale:float -> ?buf_pages:int -> seed:int -> unit -> db
+val create : ?scale:float -> ?buf_pages:int -> ?addr_base:int -> seed:int -> unit -> db
 (** [scale] (default 1.0) multiplies all table cardinalities;
-    [buf_pages] (default 4096) sizes the buffer cache. *)
+    [buf_pages] (default 4096) sizes the buffer cache.  [addr_base]
+    relocates the database's simulated address space (multi-tenant zoo
+    scenarios give each tenant a disjoint range). *)
 
 val query : db -> int -> Query.t
 (** [query db n] with n in 1..22 builds a fresh plan instance. *)

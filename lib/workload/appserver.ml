@@ -19,9 +19,9 @@ let default_params =
 
 let region_base = 2300
 
-let model ?(params = default_params) ~seed () =
+let model ?(params = default_params) ?(name = "sjas") ?addr_base ~seed () =
   let code = Code_map.create () in
-  let space = Dbengine.Addr_space.create () in
+  let space = Dbengine.Addr_space.create ?base:addr_base () in
   let rng = Rng.create seed in
   (* Request-handler phases: one per JIT-compiled handler region, each a
      few quanta long, with session-locality drift shared via the rate
@@ -49,6 +49,6 @@ let model ?(params = default_params) ~seed () =
   let threads =
     Array.init params.threads (fun tid -> Synth.thread rng ~code ~space ~phases ~tid)
   in
-  Model.make ~name:"sjas" ~code ~threads
+  Model.make ~name ~code ~threads
     ~switch_period:90_000 (* ~5000 switches/s *)
     ~os_per_switch:6_000 ~os_per_io:4_000 ~pollute_on_switch:0.3 ()

@@ -20,6 +20,9 @@ type params = {
 
 val default_params : params
 
-val model : ?params:params -> seed:int -> unit -> Model.t
+val model : ?params:params -> ?name:string -> ?addr_base:int -> seed:int -> unit -> Model.t
+(** [name] (default ["sjas"]) labels the model for per-scenario
+    {!Stats.Rng.split_label} streams; [addr_base] relocates the simulated
+    heap (multi-tenant zoo scenarios). *)
 
 val region_base : int

@@ -68,10 +68,18 @@ let all =
           build = scaled_dss q;
         })
   in
-  Array.concat [ servers; spec; odbh ]
+  let entries = Array.concat [ servers; spec; odbh ] in
+  (* Listing order is a published invariant: sorted by name, so zoo
+     manifests, atlas rows and `repro workloads` can never depend on
+     registration order. *)
+  Array.sort (fun a b -> String.compare a.name b.name) entries;
+  entries
+
+let names = Array.map (fun e -> e.name) all
+let find_opt name = Array.find_opt (fun e -> e.name = name) all
 
 let find name =
-  match Array.find_opt (fun e -> e.name = name) all with
+  match find_opt name with
   | Some e -> e
   | None -> raise Not_found
 

@@ -12,10 +12,17 @@ type entry = {
 }
 
 val all : entry array
-(** 50 entries: ODB-C, SjAS, 26 SPEC (suite order), Q1..Q22. *)
+(** The 50 entries (ODB-C, SjAS, 26 SPEC, Q1..Q22), sorted by name.  The
+    sorted order is an invariant consumers may rely on: zoo manifests and
+    atlas rows derive their ordering from it. *)
+
+val names : string array
+(** [all]'s names, in the same (sorted) order. *)
 
 val find : string -> entry
 (** Raises [Not_found] on unknown names. *)
+
+val find_opt : string -> entry option
 
 val server_workloads : entry array
 val spec_workloads : entry array

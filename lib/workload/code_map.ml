@@ -41,6 +41,23 @@ let register t ~region ~n_eips ?(skew = 1.0) () =
 
 let registered t ~region = Hashtbl.mem t.entries region
 
+let union ?(shared = []) a b =
+  let t = create () in
+  let add_all src =
+    List.iter
+      (fun (region, e) ->
+        match Hashtbl.find_opt t.entries region with
+        | None -> Hashtbl.add t.entries region e
+        | Some _ when List.mem region shared -> ()
+        | Some _ ->
+            invalid_arg
+              (Printf.sprintf "Code_map.union: region %d registered in both maps" region))
+      (Stats.Det.hashtbl_bindings src.entries)
+  in
+  add_all a;
+  add_all b;
+  t
+
 let entry t region =
   match Hashtbl.find_opt t.entries region with
   | Some e -> e

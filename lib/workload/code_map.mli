@@ -17,6 +17,14 @@ val register : t -> region:int -> n_eips:int -> ?skew:float -> unit -> unit
     region.  Registering the same region twice is an error. *)
 
 val registered : t -> region:int -> bool
+
+val union : ?shared:int list -> t -> t -> t
+(** Disjoint union of two registries (the multi-tenant zoo scenarios run
+    two workloads' threads over one merged code map).  Entries are shared
+    structurally.  Regions listed in [shared] (e.g. the conventional OS
+    region) may appear in both maps, in which case the left map's entry
+    wins; any other collision raises [Invalid_argument]. *)
+
 val n_eips : t -> region:int -> int
 val total_eips : t -> int
 

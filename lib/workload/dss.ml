@@ -44,9 +44,9 @@ let q18_model ?(params = default_params) ~seed ~access () =
     ~plan_of_db:(fun db -> Tpch.q18_variant db ~access)
     ~query:18 ()
 
-let model ?(params = default_params) ~seed ~query () =
+let model ?(params = default_params) ?name ?addr_base ~seed ~query () =
   if query < 1 || query > Tpch.n_queries then invalid_arg "Dss.model: query out of 1..22";
-  let db = Tpch.create ~scale:params.scale ~buf_pages:params.buf_pages ~seed () in
+  let db = Tpch.create ~scale:params.scale ~buf_pages:params.buf_pages ?addr_base ~seed () in
   let code = Code_map.create () in
   let base = Tpch.region_base query in
   (* Register generously: up to 8 operator regions per query. *)
@@ -70,7 +70,7 @@ let model ?(params = default_params) ~seed ~query () =
   in
   let threads = Array.init params.threads make_thread in
   Model.make
-    ~name:(Printf.sprintf "odb_h_q%d" query)
+    ~name:(match name with Some n -> n | None -> Printf.sprintf "odb_h_q%d" query)
     ~code ~threads
     ~switch_period:1_500_000 (* far lower switch rate than ODB-C *)
     ~os_per_switch:8_000 ~os_per_io:2_500 ~pollute_on_switch:0.25 ()

@@ -14,10 +14,14 @@ type params = {
 
 val default_params : params
 
-val model : ?params:params -> seed:int -> query:int -> unit -> Model.t
+val model :
+  ?params:params -> ?name:string -> ?addr_base:int -> seed:int -> query:int -> unit -> Model.t
 (** [query] in 1..22.  Registers one code region per plan operator; region
     EIP counts are sized so a query exposes a few thousand unique EIPs
-    (the paper counts 4129 for Q13). *)
+    (the paper counts 4129 for Q13).  [name] (default ["odb_h_q<query>"])
+    labels the model for per-scenario {!Stats.Rng.split_label} streams;
+    [addr_base] relocates the database's address space (multi-tenant zoo
+    scenarios). *)
 
 val q18_model :
   ?params:params ->

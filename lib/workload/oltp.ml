@@ -11,6 +11,7 @@ type params = {
   probes_per_txn : int;
   instrs_per_txn : int;
   yield_prob : float;
+  key_skew : float;
 }
 
 let default_params =
@@ -21,6 +22,7 @@ let default_params =
     probes_per_txn = 30;
     instrs_per_txn = 4_000;
     yield_prob = 0.014;
+    key_skew = 0.0;
   }
 
 let region_base = 2000
@@ -38,12 +40,26 @@ let txn_types =
     ("stock_level", 0.04, [ 0; 10; 11 ]);
   |]
 
-let model ?(params = default_params) ~seed () =
+(* Adversarial B-tree key skew: concentrate probes on a hot key prefix.
+   [skew = 0] is (exactly) the historical uniform draw; larger values bend
+   the distribution towards key 0, so hot index paths stay buffer- and
+   cache-resident while the tail still misses — CPI then depends on the
+   probe mix, not on the (unchanged) executor code. *)
+let draw_key trng ~skew n =
+  if skew <= 0.0 then Rng.int trng n
+  else begin
+    let u = Rng.float trng 1.0 in
+    min (n - 1) (int_of_float (Float.pow u (1.0 +. (4.0 *. skew)) *. float_of_int n))
+  end
+
+let model ?(params = default_params) ?(name = "odb_c") ?addr_base ~seed () =
+  if params.key_skew < 0.0 || params.key_skew > 1.0 then
+    invalid_arg "Oltp.model: key_skew out of [0,1]";
   let code = Code_map.create () in
   for r = 0 to n_regions - 1 do
     Code_map.register code ~region:(region_base + r) ~n_eips:eips_per_region ~skew:0.9 ()
   done;
-  let space = Dbengine.Addr_space.create () in
+  let space = Dbengine.Addr_space.create ?base:addr_base () in
   let rng = Rng.create seed in
   let rows base = max 1024 (int_of_float (float_of_int base *. params.scale)) in
   let accounts = Heap.create space ~name:"accounts" ~rows:(rows 640_000) ~row_bytes:100 in
@@ -75,9 +91,9 @@ let model ?(params = default_params) ~seed () =
             Sink.instrs sink ~region:(region_base + r) (params.instrs_per_txn / nregions))
           regions;
         for _ = 1 to params.probes_per_txn do
-          (* Uniformly random key: no locality, so misses spread evenly
-             over the whole run. *)
-          let key = Rng.int trng (Btree.n_keys index) in
+          (* Uniformly random key by default: no locality, so misses
+             spread evenly over the whole run.  [key_skew] bends this. *)
+          let key = draw_key trng ~skew:params.key_skew (Btree.n_keys index) in
           let path, row = Btree.find_trace index key in
           List.iter (fun a -> Sink.data_ref sink a) path;
           Sink.branch sink ~pc:(region_base * 1024) ~taken:(key land 1 = 0);
@@ -104,6 +120,6 @@ let model ?(params = default_params) ~seed () =
     { Model.tid; fill }
   in
   let threads = Array.init params.threads make_thread in
-  Model.make ~name:"odb_c" ~code ~threads
+  Model.make ~name ~code ~threads
     ~switch_period:170_000 (* ~2600 switches/s at the paper's clock/CPI *)
     ~os_per_switch:4_500 ~os_per_io:4_000 ~pollute_on_switch:0.4 ()

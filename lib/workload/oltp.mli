@@ -17,13 +17,22 @@ type params = {
   probes_per_txn : int;
   instrs_per_txn : int;
   yield_prob : float;  (** probability a buffer miss blocks the thread *)
+  key_skew : float;
+      (** B-tree probe-key skew in [0,1]: 0 (the default) is the paper's
+          uniform key draw, bit-identical to the historical behaviour;
+          larger values concentrate probes on a hot key prefix, an
+          adversarial access pattern the workload zoo sweeps. *)
 }
 
 val default_params : params
 
-val model : ?params:params -> seed:int -> unit -> Model.t
+val model : ?params:params -> ?name:string -> ?addr_base:int -> seed:int -> unit -> Model.t
 (** Builds the database (accounts heap + index + log), registers the
-    executor code regions (~20k EIPs in total) and returns the workload. *)
+    executor code regions (~20k EIPs in total) and returns the workload.
+    [name] (default ["odb_c"]) labels the model — the zoo gives every
+    generated scenario its own name so {!Stats.Rng.split_label} streams
+    stay per-scenario.  [addr_base] relocates the simulated data heap so
+    multi-tenant scenarios occupy disjoint address ranges. *)
 
 val region_base : int
 val n_regions : int

@@ -1,0 +1,45 @@
+(** The quadrant atlas: per-scenario predictability verdicts for the
+    whole zoo, computed on the shared pool and rendered with a
+    deterministic schema (text and JSON) so the output can be committed
+    and byte-compared in CI.
+
+    The atlas extends the paper's Table 2 / Figure 13 from 50 workloads
+    to the full generated population: per scenario it reports CPI, CPI
+    variance, RE at k_opt, RE_inf (the curve's final value) and the
+    quadrant verdict plus the Section 7 recommended sampling technique. *)
+
+type row = {
+  name : string;
+  family : string;
+  machine : string;
+  cpi : float;
+  cpi_variance : float;
+  re_kopt : float;
+  kopt : int;
+  re_final : float;  (** RE_inf: the RE curve's value at kmax *)
+  quadrant : Fuzzy.Quadrant.t;
+  technique : Fuzzy.Techniques.technique;  (** {!Fuzzy.Techniques.recommend} of the verdict *)
+}
+
+val schema : string
+(** Version tag embedded in both rendered forms ("zoo-atlas/v1"). *)
+
+val analyze_one : Fuzzy.Analysis.config -> Scenarios.scenario -> (row, string) result
+(** Analyze one scenario under its manifest's machine preset (the
+    config's [machine] field is overridden per scenario). *)
+
+val rows : Fuzzy.Analysis.config -> Scenarios.scenario list -> (row list, string) result
+(** Pool-mapped {!analyze_one} over the scenarios, in input order —
+    bit-identical for every [config.jobs] value. *)
+
+val render : Fuzzy.Analysis.config -> row list -> string
+(** Deterministic text table plus per-quadrant / per-technique counts. *)
+
+val render_json : Fuzzy.Analysis.config -> row list -> string
+(** Same content as {!render} in JSON ("zoo-atlas/v1" schema). *)
+
+val quadrant_counts : row list -> int array
+(** Four counters indexed by quadrant - 1. *)
+
+val technique_counts : row list -> (Fuzzy.Techniques.technique * int) list
+(** Counts in {!Fuzzy.Techniques.all} order. *)

@@ -1,0 +1,95 @@
+(* Serialized scenario manifests: one line per scenario, greppable, and
+   sufficient to rebuild the scenario bit-for-bit (Zoo.build consumes
+   nothing else).  The format is versioned and fully validated on decode
+   so a committed manifest can never silently drift. *)
+
+let version_tag = "zoo1"
+
+type t = {
+  name : string;
+  family : string;
+  machine : string;
+  params : (string * string) list;
+}
+
+(* Tokens appear between '|' / ',' / '=' separators, so the charset
+   excludes all three (plus whitespace and anything non-printable). *)
+let token_ok s =
+  String.length s > 0
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '.' || c = '+' || c = '-')
+       s
+
+let compare_params (ka, _) (kb, _) = String.compare ka kb
+
+let make ~name ~family ~machine ~params =
+  let check what s =
+    if not (token_ok s) then
+      Error (Printf.sprintf "manifest %s %S: empty or illegal character" what s)
+    else Ok ()
+  in
+  let rec check_params = function
+    | [] -> Ok ()
+    | (k, v) :: rest -> (
+        match (check "param key" k, check "param value" v) with
+        | Ok (), Ok () -> check_params rest
+        | (Error _ as e), _ | _, (Error _ as e) -> e)
+  in
+  let rec dup_key = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if a = b then Some a else dup_key rest
+    | _ -> None
+  in
+  match (check "name" name, check "family" family, check "machine" machine, check_params params)
+  with
+  | Ok (), Ok (), Ok (), Ok () -> (
+      let params = List.stable_sort compare_params params in
+      match dup_key params with
+      | Some k -> Error (Printf.sprintf "manifest %S: duplicate param %S" name k)
+      | None -> Ok { name; family; machine; params })
+  | (Error _ as e), _, _, _ | _, (Error _ as e), _, _ | _, _, (Error _ as e), _
+  | _, _, _, (Error _ as e) ->
+      e
+
+let equal a b =
+  a.name = b.name && a.family = b.family && a.machine = b.machine && a.params = b.params
+
+let encode t =
+  let params = String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) t.params) in
+  String.concat "|" [ version_tag; t.name; t.family; t.machine; params ]
+
+let decode line =
+  match String.split_on_char '|' line with
+  | [ tag; name; family; machine; params ] when tag = version_tag -> (
+      let kvs = if params = "" then [] else String.split_on_char ',' params in
+      let parse_kv kv =
+        match String.index_opt kv '=' with
+        | Some i ->
+            Ok (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+        | None -> Error (Printf.sprintf "manifest param %S: missing '='" kv)
+      in
+      let rec parse acc = function
+        | [] -> Ok (List.rev acc)
+        | kv :: rest -> (
+            match parse_kv kv with Ok p -> parse (p :: acc) rest | Error _ as e -> e)
+      in
+      match parse [] kvs with
+      | Ok params -> make ~name ~family ~machine ~params
+      | Error _ as e -> e)
+  | tag :: _ when tag <> version_tag ->
+      Error (Printf.sprintf "manifest line: unknown version tag %S" tag)
+  | _ -> Error "manifest line: expected 5 '|'-separated fields"
+
+let param t key = List.assoc_opt key t.params
+
+let int_param t key =
+  match param t key with
+  | None -> Error (Printf.sprintf "manifest %S: missing param %S" t.name key)
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "manifest %S: param %s=%S is not an integer" t.name key v))

@@ -1,0 +1,39 @@
+(** Serialized scenario manifests for the workload zoo.
+
+    A manifest is everything needed to reconstruct a generated scenario:
+    its name (which doubles as the scenario's {!Stats.Rng.split_label}
+    seed label in the analysis pipeline), its generator family, the
+    machine preset it is evaluated on, and the generator parameters.  The
+    wire form is a single greppable line
+
+    {[ zoo1|<name>|<family>|<machine>|key=value,key=value,... ]}
+
+    with params sorted by key, so encode/decode is a bijection on valid
+    manifests and committed manifests diff cleanly. *)
+
+type t = private {
+  name : string;  (** unique scenario name; also the PRNG stream label *)
+  family : string;  (** generator family, e.g. ["synth"], ["oltp"] *)
+  machine : string;  (** machine preset name ({!March.Config.by_name}) *)
+  params : (string * string) list;  (** generator params, sorted by key *)
+}
+
+val make :
+  name:string ->
+  family:string ->
+  machine:string ->
+  params:(string * string) list ->
+  (t, string) result
+(** Validates every token (alphanumerics plus [_ . + -] only), sorts
+    [params] by key and rejects duplicate keys. *)
+
+val equal : t -> t -> bool
+
+val encode : t -> string
+(** One line, no trailing newline. *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode}; re-validates everything. *)
+
+val param : t -> string -> string option
+val int_param : t -> string -> (int, string) result

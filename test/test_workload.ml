@@ -139,6 +139,13 @@ let test_catalog_names_unique () =
       Hashtbl.add seen e.Catalog.name ())
     Catalog.all
 
+let test_catalog_sorted_by_name () =
+  (* The listing order is a published invariant: `repro workloads`,
+     Table 2 and the zoo all rely on it being sorted by name. *)
+  let names = Array.to_list (Array.map (fun e -> e.Catalog.name) Catalog.all) in
+  Alcotest.(check (list string)) "sorted by name" (List.sort String.compare names) names;
+  Alcotest.(check (list string)) "Catalog.names agrees" names (Array.to_list Catalog.names)
+
 let test_catalog_find () =
   Alcotest.(check int) "odb_c expected Q1" 1 (Catalog.find "odb_c").Catalog.expected_quadrant;
   Alcotest.(check int) "q13 expected Q4" 4 (Catalog.find "odb_h_q13").Catalog.expected_quadrant;
@@ -251,6 +258,7 @@ let () =
         [
           Alcotest.test_case "50 entries" `Quick test_catalog_has_50_entries;
           Alcotest.test_case "unique names" `Quick test_catalog_names_unique;
+          Alcotest.test_case "sorted by name" `Quick test_catalog_sorted_by_name;
           Alcotest.test_case "find" `Quick test_catalog_find;
           Alcotest.test_case "paper anchor counts" `Quick
             test_catalog_quadrant_counts_match_paper_anchors;
