@@ -1,6 +1,6 @@
 # Convenience targets mirroring CI.
 
-.PHONY: build check test bench bench-gate bench-baseline lint serve-smoke zoo-atlas zoo-baseline clean
+.PHONY: build check test bench bench-gate bench-baseline lint serve-smoke cache-smoke atlas-diff zoo-atlas zoo-baseline clean
 
 # @all also builds the examples and benches, so they cannot bitrot.
 build:
@@ -14,7 +14,7 @@ build:
 # fixture tree (which must also make lint exit non-zero), and two end-to-end
 # CLI transcripts are golden-compared so the optimized tree/CV hot path can
 # never drift from the byte output it had before the rewrite.
-check: build lint serve-smoke
+check: build lint serve-smoke cache-smoke
 	QCHECK_SEED=1 JOBS=1 dune runtest --force
 	QCHECK_SEED=1 JOBS=4 dune runtest --force
 	dune exec bin/repro.exe -- stream odb_h_q13 mcf --quick --jobs 1 > _build/stream-j1.out
@@ -30,6 +30,8 @@ check: build lint serve-smoke
 	dune exec bin/repro.exe -- zoo atlas --quick --jobs 4 > _build/zoo-atlas-j4.out
 	cmp _build/zoo-atlas-j1.out _build/zoo-atlas-j4.out
 	cmp _build/zoo-atlas-j1.out test/golden/zoo-atlas-quick.out
+	dune exec bin/repro.exe -- cache warm --quick --jobs 2 --dir _build/check-store gzip mcf
+	dune exec bin/repro.exe -- cache verify --dir _build/check-store
 
 # Static determinism & hygiene gate (rules D001-D008, DESIGN.md §10).
 lint: build
@@ -40,6 +42,18 @@ lint: build
 # CLI (DESIGN.md §11).
 serve-smoke: build
 	sh scripts/serve_smoke.sh
+
+# Warm-restart equivalence gate (DESIGN.md §14): serve with a cold
+# persistent store, restart on the same store, and require the warm
+# response to be byte-identical, served from disk, with zero recomputes.
+cache-smoke: build
+	sh scripts/cache_smoke.sh
+
+# Quadrant-verdict diff of two zoo-atlas JSON artifacts; exits non-zero
+# and lists the flips if the two disagree.
+#   make atlas-diff OLD=baseline.json NEW=zoo-atlas-full.json
+atlas-diff:
+	sh scripts/atlas_diff.sh $(OLD) $(NEW)
 
 test:
 	dune runtest

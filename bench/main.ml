@@ -571,6 +571,61 @@ let run_zoo_report () =
           exit 1)
     [ 1; 4 ]
 
+(* Persistent-store cost in its natural units: one cold analysis (compute
+   + encode + put) vs a warm disk hit (read + decode + rebuild), medians
+   over several reps for the hit side.  Like --zoo, deliberately outside
+   the gated core-kernel JSON; run explicitly with
+   `bench/main.exe -- --store`.  Writes BENCH_store.json (gitignored). *)
+let run_store_report () =
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let dir = Filename.temp_file "repro_bench_store" "" in
+  Sys.remove dir;
+  let config = { Fuzzy.Analysis.quick with Fuzzy.Analysis.jobs = 1 } in
+  let time_ms f =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    (Unix.gettimeofday () -. t0) *. 1e3
+  in
+  Fuzzy.Experiments.clear_cache ();
+  Store.Result_cache.attach ~dir;
+  let cold_ms = time_ms (fun () -> Fuzzy.Experiments.analyze_cached config "gzip") in
+  let reps = 9 in
+  let hit_samples =
+    Array.init reps (fun _ ->
+        Fuzzy.Experiments.clear_cache ();
+        time_ms (fun () -> Fuzzy.Experiments.analyze_cached config "gzip"))
+  in
+  Store.Result_cache.detach ();
+  Fuzzy.Experiments.clear_cache ();
+  Array.sort compare hit_samples;
+  let hit_ms = hit_samples.(reps / 2) in
+  rm_rf dir;
+  Printf.printf "store round-trip (quick gzip, serial):\n";
+  Printf.printf "  store_cold  %10.2f ms  (compute + encode + put)\n" cold_ms;
+  Printf.printf "  store_hit   %10.2f ms  median of %d  (read + decode + rebuild)\n" hit_ms reps;
+  Printf.printf "  hit speedup %9.1fx\n" (cold_ms /. hit_ms);
+  let oc = open_out "BENCH_store.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"bench\": \"store_round_trip\",\n\
+        \  \"workload\": \"gzip\",\n\
+        \  \"kernels\": [\n\
+        \    {\"name\": \"store_cold\", \"reps\": 1, \"median_ms\": %.4f},\n\
+        \    {\"name\": \"store_hit\", \"reps\": %d, \"median_ms\": %.4f}\n\
+        \  ]\n\
+         }\n"
+        cold_ms reps hit_ms);
+  Printf.printf "[store phase: wrote BENCH_store.json]\n%!"
+
 let () =
   let args = Array.to_list Sys.argv in
   let bench_only = List.mem "--bench-only" args in
@@ -578,6 +633,7 @@ let () =
   let quick = List.mem "--quick" args in
   let json = List.mem "--json" args in
   if List.mem "--zoo" args then run_zoo_report ()
+  else if List.mem "--store" args then run_store_report ()
   else if json then
     (* Gate mode: only the core kernels, JSON on stdout and nothing else
        (`bench/main.exe -- --quick --json > BENCH_core.fresh.json`). *)

@@ -13,6 +13,19 @@ let unknown_workload name =
   Array.iter (fun n -> Printf.eprintf "  %s\n" n) Workload.Catalog.names;
   exit 1
 
+(* An int argument with a hard floor.  Out-of-range values are rejected
+   by cmdliner itself (error + usage, non-zero exit) instead of being
+   silently dropped back to the default, which is how `--jobs 0' used to
+   behave. *)
+let bounded_int ~min ~what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= min -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%s must be >= %d (got %d)" what min v))
+    | None -> Error (`Msg (Printf.sprintf "%s must be an integer (got %S)" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 (* Returns (config, quick): most commands only want the config, but
    `zoo atlas' reuses the --quick flag to also select the quick scenario
    subset, and cmdliner forbids registering the flag twice. *)
@@ -27,12 +40,15 @@ let config_quick_term =
     Arg.(value & opt (some float) None & info [ "scale" ] ~doc:"Workload data-size multiplier.")
   in
   let intervals =
-    Arg.(value & opt (some int) None & info [ "intervals" ] ~doc:"Number of EIPV intervals.")
+    Arg.(
+      value
+      & opt (some (bounded_int ~min:1 ~what:"INTERVALS")) None
+      & info [ "intervals" ] ~doc:"Number of EIPV intervals.")
   in
   let spi =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some (bounded_int ~min:1 ~what:"SAMPLES")) None
       & info [ "samples-per-interval" ] ~doc:"Sampler interrupts per EIPV interval.")
   in
   let machine =
@@ -45,7 +61,7 @@ let config_quick_term =
   let jobs =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some (bounded_int ~min:1 ~what:"JOBS")) None
       & info [ "jobs"; "j" ]
           ~doc:
             "Worker domains for the CV fold fan-out and workload sweeps (default: the JOBS \
@@ -67,9 +83,7 @@ let config_quick_term =
       | None -> base
     in
     let base =
-      match jobs with
-      | Some j when j >= 1 -> { base with Fuzzy.Analysis.jobs = j }
-      | Some _ | None -> base
+      match jobs with Some j -> { base with Fuzzy.Analysis.jobs = j } | None -> base
     in
     (base, quick)
   in
@@ -176,7 +190,7 @@ let stream_cmd =
   let reservoir =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some (bounded_int ~min:1 ~what:"RESERVOIR")) None
       & info [ "reservoir" ]
           ~doc:
             "Training-window capacity in intervals (default 256).  Runs no longer than this \
@@ -185,7 +199,7 @@ let stream_cmd =
   let window =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some (bounded_int ~min:2 ~what:"WINDOW")) None
       & info [ "window" ] ~doc:"Trailing-window width for the windowed CPI variance.")
   in
   let no_trace =
@@ -197,13 +211,11 @@ let stream_cmd =
     let ocfg = { Online.Pipeline.default with Online.Pipeline.analysis = config } in
     let ocfg =
       match reservoir with
-      | Some r when r >= 1 -> { ocfg with Online.Pipeline.reservoir = r }
-      | Some _ | None -> ocfg
+      | Some r -> { ocfg with Online.Pipeline.reservoir = r }
+      | None -> ocfg
     in
     let ocfg =
-      match window with
-      | Some w when w >= 2 -> { ocfg with Online.Pipeline.window = w }
-      | Some _ | None -> ocfg
+      match window with Some w -> { ocfg with Online.Pipeline.window = w } | None -> ocfg
     in
     List.iter
       (fun name ->
@@ -340,7 +352,17 @@ let serve_cmd =
       & info [ "status" ]
           ~doc:"Do not serve: query a running server's live metrics and exit.")
   in
-  let run config address queue max_conns timeout status =
+  let store_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Attach the persistent result store at $(docv): warm the in-memory analysis \
+             cache from it at startup, persist every newly computed analysis into it, and \
+             report store hit/miss/write/corrupt counters in the stats RPC.")
+  in
+  let run config address queue max_conns timeout status store_dir =
     if status then
       match
         Serve.Client.with_connection address (fun c -> Serve.Client.call c Serve.Protocol.Stats)
@@ -352,6 +374,12 @@ let serve_cmd =
           Printf.eprintf "status query failed: %s\n" m;
           exit 1
     else begin
+      (match store_dir with
+      | None -> ()
+      | Some dir ->
+          Store.Result_cache.attach ~dir;
+          let loaded = Store.Result_cache.warm ~jobs:config.Fuzzy.Analysis.jobs () in
+          Printf.eprintf "repro-serve: store %s: warmed %d cached analyses\n%!" dir loaded);
       let scfg = Serve.Server.config_of_analysis config in
       let scfg =
         {
@@ -361,6 +389,12 @@ let serve_cmd =
           Serve.Server.queue_capacity = max 0 queue;
           max_connections = max 1 max_conns;
           request_timeout = timeout;
+          store_counters =
+            (fun () ->
+              Option.map
+                (fun c ->
+                  (c.Store.Cas.hits, c.Store.Cas.misses, c.Store.Cas.writes, c.Store.Cas.corrupt))
+                (Store.Result_cache.counters ()));
         }
       in
       (* Lifecycle chatter goes to stderr; stdout carries only the final
@@ -379,7 +413,8 @@ let serve_cmd =
           batching of identical in-flight requests, per-request deadlines and live \
           metrics.  Responses are byte-identical to the offline commands for every \
           --jobs value.")
-    Term.(const run $ config_term $ address_term $ queue $ max_conns $ timeout $ status)
+    Term.(
+      const run $ config_term $ address_term $ queue $ max_conns $ timeout $ status $ store_dir)
 
 let client_cmd =
   let args =
@@ -625,6 +660,106 @@ let zoo_cmd =
           serialized manifests and a golden-compared quadrant atlas.")
     [ zoo_list_cmd; zoo_gen_cmd; zoo_atlas_cmd ]
 
+(* ---- persistent result store ------------------------------------------ *)
+
+let store_dir_term =
+  Arg.(
+    value & opt string "repro-store"
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Store directory (default: repro-store).")
+
+let render_store_stats dir (s : Store.Cas.stats) =
+  Printf.sprintf "store %s\n  %-12s %d\n  %-12s %d\n  %-12s %d\n" dir "entries" s.Store.Cas.entries
+    "bytes" s.Store.Cas.bytes "quarantined" s.Store.Cas.quarantined
+
+let cache_stats_cmd =
+  let run dir =
+    let cas = Store.Cas.open_dir ~dir in
+    print_string (render_store_stats dir (Store.Cas.stats cas))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print entry count, byte size and quarantine count of the store.")
+    Term.(const run $ store_dir_term)
+
+let cache_verify_cmd =
+  let run dir =
+    let cas = Store.Cas.open_dir ~dir in
+    let ok, bad = Store.Cas.verify cas in
+    Printf.printf "verified %d entries, %d bad\n" ok (List.length bad);
+    List.iter (fun digest -> Printf.printf "  quarantined %s\n" digest) bad;
+    if bad <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Re-validate every entry (trailer length, Adler-32, format version, key match).  \
+          Invalid entries are quarantined; exits non-zero if any were found.")
+    Term.(const run $ store_dir_term)
+
+let cache_gc_cmd =
+  let max_entries =
+    Arg.(
+      value
+      & opt (some (bounded_int ~min:0 ~what:"MAX-ENTRIES")) None
+      & info [ "max-entries" ] ~docv:"N" ~doc:"Keep at most $(docv) entries.")
+  in
+  let max_bytes =
+    Arg.(
+      value
+      & opt (some (bounded_int ~min:0 ~what:"MAX-BYTES")) None
+      & info [ "max-bytes" ] ~docv:"N" ~doc:"Keep at most $(docv) bytes of entries.")
+  in
+  let run dir max_entries max_bytes =
+    let cas = Store.Cas.open_dir ~dir in
+    let evicted = Store.Cas.gc cas ?max_entries ?max_bytes () in
+    Printf.printf "evicted %d entries\n" (List.length evicted);
+    List.iter (fun digest -> Printf.printf "  %s\n" digest) evicted
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Evict least-recently-used entries (by atime; ties and atime-less filesystems fall \
+          back to digest order, so eviction is deterministic) until the store fits both \
+          budgets.  With no budget flags this is a no-op.")
+    Term.(const run $ store_dir_term $ max_entries $ max_bytes)
+
+let cache_warm_cmd =
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Catalog workloads to analyze into the store (default: all of them).")
+  in
+  let run config dir names =
+    let names =
+      match names with [] -> Array.to_list Workload.Catalog.names | names -> names
+    in
+    List.iter (fun n -> if Workload.Catalog.find_opt n = None then unknown_workload n) names;
+    Store.Result_cache.attach ~dir;
+    ignore (Fuzzy.Experiments.analyze_many config names);
+    (match Store.Result_cache.counters () with
+    | Some c ->
+        Printf.printf "warmed %d workloads into %s (%d already stored, %d computed)\n"
+          (List.length names) dir c.Store.Cas.hits c.Store.Cas.writes
+    | None -> ());
+    Store.Result_cache.detach ()
+  in
+  Cmd.v
+    (Cmd.info "warm"
+       ~doc:
+         "Analyze workloads and persist the results, so a later `repro serve --store' (or \
+          this command under the same configuration) starts hot.  Already-stored analyses \
+          are not recomputed.")
+    Term.(const run $ config_term $ store_dir_term $ names)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Manage the persistent analysis-result store: a content-addressed, append-only \
+          directory of checksummed entries keyed by (code version, workload, analysis \
+          configuration).  Corrupt entries are quarantined and recomputed, never trusted.")
+    [ cache_stats_cmd; cache_verify_cmd; cache_gc_cmd; cache_warm_cmd ]
+
 let () =
   let info =
     Cmd.info "repro" ~version:"1.0.0"
@@ -641,6 +776,7 @@ let () =
             all_cmd;
             analyze_cmd;
             quadrant_cmd;
+            cache_cmd;
             zoo_cmd;
             stream_cmd;
             serve_cmd;

@@ -56,15 +56,13 @@ let mean_breakdown (eipv : Sampling.Eipv.t) =
 
 let pool config = Parallel.Pool.shared ~jobs:config.jobs
 
-let of_intervals config ~name ~run eipv =
+(* Everything below the curve is a cheap deterministic function of
+   (run, eipv, curve, config) — shared by the compute path and the
+   persistent-store reload path, so a reloaded analysis is structurally
+   identical to a recomputed one. *)
+let assemble config ~name ~run ~eipv ~curve =
   let cpis = Sampling.Eipv.cpis eipv in
   let cpi_variance = Stats.Describe.variance cpis in
-  let ds = Sampling.Eipv.dataset eipv in
-  let curve =
-    Rtree.Cv.relative_error_curve ~pool:(pool config) ~folds:config.folds ~kmax:config.kmax
-      (Stats.Rng.create (config.seed + 1))
-      ds
-  in
   let kopt = Rtree.Cv.kopt curve ~tol:config.kopt_tol in
   let re_kopt = Rtree.Cv.re_at curve kopt in
   let re_final = Rtree.Cv.re_final curve in
@@ -85,6 +83,21 @@ let of_intervals config ~name ~run eipv =
     os_fraction = Sampling.Driver.os_fraction run;
     switches_per_minstr = Sampling.Driver.context_switches_per_minstr run;
   }
+
+let of_intervals config ~name ~run eipv =
+  let curve =
+    Rtree.Cv.relative_error_curve ~pool:(pool config) ~folds:config.folds ~kmax:config.kmax
+      (Stats.Rng.create (config.seed + 1))
+      (Sampling.Eipv.dataset eipv)
+  in
+  assemble config ~name ~run ~eipv ~curve
+
+let of_parts config ~name ~run ~curve =
+  (* The EIPV table is a cheap deterministic fold over the samples, so
+     the store persists only (run, curve) — the expensive CV fit — and
+     rebuilds the rest on load. *)
+  let eipv = Sampling.Eipv.build run ~samples_per_interval:config.samples_per_interval in
+  assemble config ~name ~run ~eipv ~curve
 
 let analyze_model config model =
   let cpu = March.Cpu.create config.machine in

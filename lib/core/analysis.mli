@@ -53,6 +53,15 @@ val of_intervals : config -> name:string -> run:Sampling.Driver.run -> Sampling.
 (** Analyze pre-built intervals (used for per-thread EIPVs and interval-
     size sweeps). *)
 
+val of_parts : config -> name:string -> run:Sampling.Driver.run -> curve:Rtree.Cv.curve -> t
+(** Reassemble an analysis from its expensive parts — the sample run and
+    the cross-validated RE curve — without re-running the CV fit.  The
+    EIPV table and every derived statistic are recomputed (they are cheap
+    deterministic folds over [run]), so given the exact (run, curve) a
+    previous {!analyze} produced under the same [config], the result is
+    structurally identical to that analysis.  This is the persistent
+    result store's reload path. *)
+
 val pool : config -> Parallel.Pool.t
 (** The shared pool for [config.jobs] (serial when [jobs = 1]). *)
 

@@ -10,36 +10,99 @@ let cache_mutex = Mutex.create ()
 
 (* [jobs] is deliberately absent from the key: the parallel layer
    guarantees bit-identical results for every jobs value, so analyses are
-   shared across jobs settings. *)
+   shared across jobs settings.  Every other config field is included —
+   kmax/folds/kopt_tol shape the CV curve just as much as the sampling
+   knobs do. *)
 let cache_key (config : Analysis.config) name =
-  Printf.sprintf "%s|%d|%f|%s|%d|%d|%d" name config.Analysis.seed config.Analysis.scale
-    config.Analysis.machine.March.Config.name config.Analysis.intervals
-    config.Analysis.samples_per_interval config.Analysis.period
+  Printf.sprintf "%s|%d|%f|%s|%d|%d|%d|%d|%d|%f" name config.Analysis.seed
+    config.Analysis.scale config.Analysis.machine.March.Config.name config.Analysis.intervals
+    config.Analysis.samples_per_interval config.Analysis.period config.Analysis.kmax
+    config.Analysis.folds config.Analysis.kopt_tol
 
-let analyze_cached config name =
-  let key = cache_key config name in
-  let lookup () =
-    Mutex.lock cache_mutex;
-    let r = Hashtbl.find_opt cache key in
-    Mutex.unlock cache_mutex;
-    r
-  in
-  match lookup () with
-  | Some a -> a
-  | None -> (
-      (* Compute outside the lock; concurrent workers may race on the
-         same key, in which case the first insert wins so callers always
-         share one physical result. *)
-      let a = Analysis.analyze config name in
-      Mutex.lock cache_mutex;
-      match Hashtbl.find_opt cache key with
-      | Some existing ->
-          Mutex.unlock cache_mutex;
-          existing
+(* ------------------------------------------------------------------ *)
+(* Second cache tier: the persistent content-addressed store.  The store
+   lives in lib/store (which depends on this library), so it plugs in
+   through this hook rather than being called directly. *)
+
+type disk_tier = {
+  probe : Analysis.config -> string -> Analysis.t option;
+  persist : Analysis.config -> string -> Analysis.t -> unit;
+}
+
+let disk_tier : disk_tier option ref = ref None
+let set_disk_tier t = disk_tier := t
+
+(* Keys being computed right now, with the domain computing each one.  A
+   concurrent miss on the same key waits on the owner's condition instead
+   of computing (or re-reading the disk) a second time: single-flight.
+   Waiters may be pool workers, which is safe because the owner never
+   waits on a condition it could be asked to signal — with one exception:
+   pool threads self-help, so while the owner's own nested CV fan-out
+   waits inside Parallel.Pool.map it can steal a queued task for the very
+   key it is computing.  Blocking there would wait on its own broadcast,
+   hence the owner id — a re-entrant miss computes inline instead. *)
+let inflight : (string, Condition.t * int) Hashtbl.t = Hashtbl.create 8
+
+let compute_tiers config name =
+  match !disk_tier with
+  | None -> Analysis.analyze config name
+  | Some tier -> (
+      match tier.probe config name with
+      | Some a -> a
       | None ->
-          Hashtbl.add cache key a;
-          Mutex.unlock cache_mutex;
+          let a = Analysis.analyze config name in
+          tier.persist config name a;
           a)
+
+let rec analyze_cached config name =
+  let key = cache_key config name in
+  let self = (Domain.self () :> int) in
+  Mutex.lock cache_mutex;
+  match Hashtbl.find_opt cache key with
+  | Some a ->
+      Mutex.unlock cache_mutex;
+      a
+  | None -> (
+      match Hashtbl.find_opt inflight key with
+      | Some (_, owner) when owner = self ->
+          (* Re-entrant: this domain owns the in-flight computation and
+             stole a duplicate task while self-helping in the pool.
+             Recompute inline — identical by determinism, and the store
+             put is idempotent. *)
+          Mutex.unlock cache_mutex;
+          compute_tiers config name
+      | Some (cond, _) ->
+          (* [wait] releases the mutex; on wake the owner has either
+             published the result or failed — re-run the lookup. *)
+          Condition.wait cond cache_mutex;
+          Mutex.unlock cache_mutex;
+          analyze_cached config name
+      | None ->
+          let cond = Condition.create () in
+          Hashtbl.replace inflight key (cond, self);
+          Mutex.unlock cache_mutex;
+          let release () =
+            Hashtbl.remove inflight key;
+            Condition.broadcast cond
+          in
+          (match compute_tiers config name with
+          | a ->
+              Mutex.lock cache_mutex;
+              if not (Hashtbl.mem cache key) then Hashtbl.add cache key a;
+              release ();
+              Mutex.unlock cache_mutex;
+              a
+          | exception e ->
+              Mutex.lock cache_mutex;
+              release ();
+              Mutex.unlock cache_mutex;
+              raise e))
+
+let preload (a : Analysis.t) =
+  let key = cache_key a.Analysis.config a.Analysis.name in
+  Mutex.lock cache_mutex;
+  if not (Hashtbl.mem cache key) then Hashtbl.add cache key a;
+  Mutex.unlock cache_mutex
 
 let cached config name =
   let key = cache_key config name in
@@ -55,7 +118,26 @@ let clear_cache () =
 
 let analyze_many config names =
   let pool = Analysis.pool config in
-  Array.to_list (Parallel.Pool.map pool (analyze_cached config) (Array.of_list names))
+  (* Fan out over *distinct* names only.  Duplicates would queue several
+     tasks for one key; every loser of the single-flight race then parks
+     a pool worker in Condition.wait, starving the owner's own nested CV
+     fan-out.  The shared result is fanned back out to each occurrence,
+     so the output list is unchanged. *)
+  let seen = Hashtbl.create 16 in
+  let unique =
+    List.filter
+      (fun n ->
+        if Hashtbl.mem seen n then false
+        else begin
+          Hashtbl.add seen n ();
+          true
+        end)
+      names
+  in
+  let results = Parallel.Pool.map pool (analyze_cached config) (Array.of_list unique) in
+  let by_name = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace by_name n results.(i)) unique;
+  List.map (fun n -> Hashtbl.find by_name n) names
 
 let buf_printf = Printf.bprintf
 

@@ -22,7 +22,31 @@ val analyze_cached : Analysis.config -> string -> Analysis.t
     workload runs (ODB-C and SjAS appear in Figures 2-7); the cache keys
     on workload name and configuration (but not on [jobs] — results are
     identical for every jobs value).  Thread-safe: the cache is
-    mutex-guarded so pool workers can share it. *)
+    mutex-guarded so pool workers can share it.
+
+    Lookup is tiered: the in-memory table first, then the attached
+    persistent store (if {!set_disk_tier} installed one), then compute —
+    and a computed result is pushed back down into the store.  Misses are
+    single-flight per key: concurrent callers of the same key wait for
+    the first one instead of computing (or probing the disk) twice. *)
+
+type disk_tier = {
+  probe : Analysis.config -> string -> Analysis.t option;
+      (** Return the stored analysis for (config, workload), or [None] on
+          a miss.  Corrupt or stale entries must read as misses. *)
+  persist : Analysis.config -> string -> Analysis.t -> unit;
+      (** Called once per computed miss, under single-flight. *)
+}
+
+val set_disk_tier : disk_tier option -> unit
+(** Install (or remove) the persistent second tier.  [Store.Result_cache]
+    calls this; install before serving traffic — the reference is read
+    un-locked on the assumption that it no longer changes. *)
+
+val preload : Analysis.t -> unit
+(** Insert an already-built analysis into the in-memory tier under its
+    own (config, name) key (first insert wins) — cache warming on
+    [repro serve] startup. *)
 
 val cached : Analysis.config -> string -> bool
 (** Whether {!analyze_cached} would hit for this (config, workload) —

@@ -46,6 +46,10 @@ let render_run (run : Driver.run) =
     run.Driver.samples;
   Buffer.contents buf
 
+let to_string run =
+  let body = render_run run in
+  Printf.sprintf "%sfuzzytrace-end %d %d\n" body (String.length body) (adler32 body)
+
 let save (run : Driver.run) ~path =
   (* Write to a temp file in the target directory and rename into place:
      a crash mid-save can never leave a truncated archive at [path] that
@@ -56,11 +60,7 @@ let save (run : Driver.run) ~path =
   (try
      Fun.protect
        ~finally:(fun () -> close_out oc)
-       (fun () ->
-         let body = render_run run in
-         output_string oc body;
-         Printf.fprintf oc "fuzzytrace-end %d %d\n" (String.length body)
-           (adler32 body))
+       (fun () -> output_string oc (to_string run))
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
@@ -99,13 +99,7 @@ let checked_body ~path content =
       path sum declared_sum;
   body
 
-let load ~path =
-  let ic = open_in_bin path in
-  let content =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
+let of_string ~label:path content =
   if String.length content = 0 then fail_fmt "Trace_io.load: %s: empty file" path;
   let file_version =
     try Scanf.sscanf content "fuzzytrace %d" (fun v -> v)
@@ -130,7 +124,12 @@ let load ~path =
           if v <> 1 && v <> version then
             fail_fmt "Trace_io.load: version %d, expected 1 or %d" v version;
           (workload, machine, period, ctx, io, os, ti, tc, n))
-    with Scanf.Scan_failure m | Failure m -> fail_fmt "Trace_io.load: bad header: %s" m
+    with
+    | Scanf.Scan_failure m | Failure m -> fail_fmt "Trace_io.load: bad header: %s" m
+    | End_of_file ->
+        (* A v1 archive cut off inside the header line: no trailer to
+           catch it first, so the scan itself runs out of input. *)
+        fail_fmt "Trace_io.load: %s: truncated header" path
   in
   (* The split of a '\n'-terminated body ends with one empty element. *)
   if Array.length sample_lines < n + 1 then
@@ -162,7 +161,9 @@ let load ~path =
                 os_instrs;
                 region_instrs;
               })
-        with Scanf.Scan_failure m -> fail_fmt "Trace_io.load: sample %d: %s" i m)
+        with
+        | Scanf.Scan_failure m -> fail_fmt "Trace_io.load: sample %d: %s" i m
+        | End_of_file -> fail_fmt "Trace_io.load: sample %d: truncated line" i)
   in
   {
     Driver.workload;
@@ -175,3 +176,12 @@ let load ~path =
     total_instrs;
     total_cycles;
   }
+
+let load ~path =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ~label:path content

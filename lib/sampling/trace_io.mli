@@ -18,6 +18,17 @@ val save : Driver.run -> path:string -> unit
     declaring the byte length and Adler-32 checksum of everything
     before it. *)
 
+val to_string : Driver.run -> string
+(** The exact archive bytes {!save} writes (body plus end-of-trace
+    trailer), for embedding a run inside another checksummed container —
+    the persistent result store ([lib/store]) stores each memoized
+    analysis's run this way. *)
+
+val of_string : label:string -> string -> Driver.run
+(** Decode archive bytes produced by {!to_string} (or read from a file
+    {!save} wrote).  [label] stands in for the file path in error
+    messages.  Same validation and failure contract as {!load}. *)
+
 val load : path:string -> Driver.run
 (** Raises [Failure] with a descriptive message — never a bare decode
     exception — on a truncated file (trailer missing or length short),

@@ -12,6 +12,10 @@ type t = {
   mutable batch_joined : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable store_hits : int;
+  mutable store_misses : int;
+  mutable store_writes : int;
+  mutable store_corrupt : int;
   mutable queue_high_water : int;
   mutable inflight_high_water : int;
 }
@@ -27,6 +31,10 @@ type snapshot = {
   batch_joined : int;
   cache_hits : int;
   cache_misses : int;
+  store_hits : int;
+  store_misses : int;
+  store_writes : int;
+  store_corrupt : int;
   queue_high_water : int;
   inflight_high_water : int;
 }
@@ -43,6 +51,10 @@ let create () =
     batch_joined = 0;
     cache_hits = 0;
     cache_misses = 0;
+    store_hits = 0;
+    store_misses = 0;
+    store_writes = 0;
+    store_corrupt = 0;
     queue_high_water = 0;
     inflight_high_water = 0;
   }
@@ -64,6 +76,14 @@ let incr_batch_joined (t : t) = t.batch_joined <- t.batch_joined + 1
 let incr_cache_hit (t : t) = t.cache_hits <- t.cache_hits + 1
 let incr_cache_miss (t : t) = t.cache_misses <- t.cache_misses + 1
 
+(* The persistent store keeps its own monotonic counters; the server
+   copies them in before every snapshot rather than mirroring each event. *)
+let set_store (t : t) ~hits ~misses ~writes ~corrupt =
+  t.store_hits <- hits;
+  t.store_misses <- misses;
+  t.store_writes <- writes;
+  t.store_corrupt <- corrupt
+
 let observe_queue_depth (t : t) n =
   if n > t.queue_high_water then t.queue_high_water <- n
 
@@ -84,6 +104,10 @@ let snapshot (t : t) =
     batch_joined = t.batch_joined;
     cache_hits = t.cache_hits;
     cache_misses = t.cache_misses;
+    store_hits = t.store_hits;
+    store_misses = t.store_misses;
+    store_writes = t.store_writes;
+    store_corrupt = t.store_corrupt;
     queue_high_water = t.queue_high_water;
     inflight_high_water = t.inflight_high_water;
   }
@@ -102,6 +126,10 @@ let render (s : snapshot) =
   line "batch.joined" s.batch_joined;
   line "cache.hits" s.cache_hits;
   line "cache.misses" s.cache_misses;
+  line "store.hits" s.store_hits;
+  line "store.misses" s.store_misses;
+  line "store.writes" s.store_writes;
+  line "store.corrupt" s.store_corrupt;
   line "queue.high_water" s.queue_high_water;
   line "inflight.high_water" s.inflight_high_water;
   Buffer.contents b

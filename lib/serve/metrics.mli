@@ -25,6 +25,10 @@ type snapshot = {
           computation instead of queueing their own *)
   cache_hits : int;  (** analysis cache already held the workload *)
   cache_misses : int;
+  store_hits : int;  (** persistent store served a validated entry *)
+  store_misses : int;
+  store_writes : int;  (** new entries persisted *)
+  store_corrupt : int;  (** entries quarantined as invalid *)
   queue_high_water : int;  (** deepest the bounded request queue has been *)
   inflight_high_water : int;  (** most pool tasks outstanding at once *)
 }
@@ -40,6 +44,12 @@ val incr_error : t -> code:string -> unit
 val incr_batch_joined : t -> unit
 val incr_cache_hit : t -> unit
 val incr_cache_miss : t -> unit
+
+val set_store : t -> hits:int -> misses:int -> writes:int -> corrupt:int -> unit
+(** Copy the persistent store's counters into the metrics (all zero when
+    no store is attached).  Called before each snapshot; the store owns
+    the running totals. *)
+
 val observe_queue_depth : t -> int -> unit
 val observe_inflight : t -> int -> unit
 

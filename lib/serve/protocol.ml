@@ -181,6 +181,10 @@ let enc_snapshot e (s : Metrics.snapshot) =
   Wire.Enc.int e s.Metrics.batch_joined;
   Wire.Enc.int e s.Metrics.cache_hits;
   Wire.Enc.int e s.Metrics.cache_misses;
+  Wire.Enc.int e s.Metrics.store_hits;
+  Wire.Enc.int e s.Metrics.store_misses;
+  Wire.Enc.int e s.Metrics.store_writes;
+  Wire.Enc.int e s.Metrics.store_corrupt;
   Wire.Enc.int e s.Metrics.queue_high_water;
   Wire.Enc.int e s.Metrics.inflight_high_water
 
@@ -200,6 +204,10 @@ let dec_snapshot d =
   let batch_joined = Wire.Dec.int d in
   let cache_hits = Wire.Dec.int d in
   let cache_misses = Wire.Dec.int d in
+  let store_hits = Wire.Dec.int d in
+  let store_misses = Wire.Dec.int d in
+  let store_writes = Wire.Dec.int d in
+  let store_corrupt = Wire.Dec.int d in
   let queue_high_water = Wire.Dec.int d in
   let inflight_high_water = Wire.Dec.int d in
   {
@@ -213,6 +221,10 @@ let dec_snapshot d =
     batch_joined;
     cache_hits;
     cache_misses;
+    store_hits;
+    store_misses;
+    store_writes;
+    store_corrupt;
     queue_high_water;
     inflight_high_water;
   }

@@ -7,6 +7,10 @@ type config = {
   max_connections : int;
   request_timeout : float option;
   max_payload : int;
+  store_counters : unit -> (int * int * int * int) option;
+      (* (hits, misses, writes, corrupt) of the attached persistent
+         store, or None when serving without one.  A callback so serve
+         stays independent of lib/store; polled before each snapshot. *)
 }
 
 let config_of_analysis analysis =
@@ -17,6 +21,7 @@ let config_of_analysis analysis =
     max_connections = 32;
     request_timeout = None;
     max_payload = Wire.default_max_payload;
+    store_counters = (fun () -> None);
   }
 
 let describe_address = function
@@ -70,6 +75,12 @@ let listen_socket address =
 
 let run ?(on_event = fun _ -> ()) cfg address =
   let metrics = Metrics.create () in
+  let sync_store_counters () =
+    match cfg.store_counters () with
+    | Some (hits, misses, writes, corrupt) ->
+        Metrics.set_store metrics ~hits ~misses ~writes ~corrupt
+    | None -> ()
+  in
   let pool = Fuzzy.Analysis.pool cfg.analysis in
   let max_inflight = Parallel.Pool.jobs pool in
   let sessions : (int, Session.t) Hashtbl.t = Hashtbl.create 16 in
@@ -225,6 +236,7 @@ let run ?(on_event = fun _ -> ()) cfg address =
                workloads = Array.length Workload.Catalog.all;
              })
     | Protocol.Stats ->
+        sync_store_counters ();
         respond sess seq (Protocol.Stats_snapshot (Metrics.snapshot metrics))
     | Protocol.Shutdown ->
         draining := true;
@@ -504,4 +516,5 @@ let run ?(on_event = fun _ -> ()) cfg address =
   Sys.set_signal Sys.sigpipe old_pipe;
   Sys.set_signal Sys.sigint old_int;
   Sys.set_signal Sys.sigterm old_term;
+  sync_store_counters ();
   Metrics.snapshot metrics

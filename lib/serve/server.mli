@@ -37,12 +37,17 @@ type config = {
   max_connections : int;  (** cap; excess connections get [Busy] *)
   request_timeout : float option;  (** max seconds queued, [None] = no limit *)
   max_payload : int;  (** per-frame payload cap in bytes *)
+  store_counters : unit -> (int * int * int * int) option;
+      (** (hits, misses, writes, corrupt) of the attached persistent
+          result store, or [None] when serving without one.  Polled
+          before each metrics snapshot; a callback so serve does not
+          depend on lib/store. *)
 }
 
 val config_of_analysis : Fuzzy.Analysis.config -> config
 (** Defaults: pipeline from {!Online.Pipeline.default} with the given
     analysis config; queue 64; 32 connections; no timeout;
-    {!Wire.default_max_payload}. *)
+    {!Wire.default_max_payload}; no store counters. *)
 
 val describe_address : address -> string
 (** ["unix:PATH"] or ["tcp:127.0.0.1:PORT"]. *)

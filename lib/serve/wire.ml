@@ -8,7 +8,11 @@
    function of the value, so identical messages are identical bytes. *)
 
 let magic = "FZRP"
-let version = 1
+
+(* v2: Stats_snapshot grew the four store.* counters.  The version lives
+   in every frame header, so a v1 peer rejects v2 frames outright instead
+   of misparsing the longer snapshot. *)
+let version = 2
 let header_len = 14
 let default_max_payload = 16 * 1024 * 1024
 

@@ -1,0 +1,16 @@
+(* The code-version stamp baked into every store key.  Analyses are pure
+   functions of (workload config, analysis config, code); the first two
+   are serialized into the key explicitly, and this constant stands for
+   the third.  Bump it whenever a change can alter analysis output bytes
+   — the sampling driver, the EIPV builder, the CART/CV kernels, the RNG
+   stream derivation — and every old entry silently becomes a miss
+   (append-only stores never reinterpret old bytes).
+
+   The stamp is compiled into the binary, so two builds disagreeing on
+   analysis semantics can share one store directory without ever serving
+   each other's results. *)
+let code_stamp = "fuzzy-analysis-v1"
+
+(* On-disk entry format version (the container layout, not the analysis
+   semantics).  Decoders reject any other value. *)
+let entry_format = 1

@@ -1,0 +1,16 @@
+(** Build-time stamps for the persistent result store.
+
+    A store entry is only valid for the code that produced it: keys mix
+    in {!code_stamp} so any build whose analysis semantics changed sees a
+    cold store rather than stale results, and entries carry
+    {!entry_format} so container-layout changes are detected
+    independently of semantic ones. *)
+
+val code_stamp : string
+(** Identifies the analysis semantics of this build.  Part of every
+    canonical key; bump on any change that can alter analysis output
+    bytes (DESIGN.md §14). *)
+
+val entry_format : int
+(** Version of the on-disk entry container ({!Cas} framing + {!Codec}
+    payload layout).  Mismatched entries are treated as corrupt. *)

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Diff two `repro zoo atlas --json` artifacts (schema zoo-atlas/v1) by
+# quadrant verdict.
+#
+#   scripts/atlas_diff.sh OLD.json NEW.json
+#
+# Prints one line per scenario whose quadrant verdict flipped between
+# the two files, plus scenarios present in only one of them, and exits
+# non-zero if anything differs.  Pure POSIX sh + awk, so the scheduled
+# full-atlas CI job can compare today's artifact against a baseline
+# without any toolchain beyond the base image.
+set -eu
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+OLD=$1
+NEW=$2
+[ -r "$OLD" ] || { echo "atlas-diff: cannot read $OLD" >&2; exit 2; }
+[ -r "$NEW" ] || { echo "atlas-diff: cannot read $NEW" >&2; exit 2; }
+
+# The atlas writes one scenario object per line, so a line-oriented awk
+# field grab is reliable: pull "name" and "quadrant" out of each
+# scenario line of both files, join on name, report disagreements.
+awk '
+    function field(line, key,    v) {
+        # value of "key": "v" on this line, or "" if absent
+        if (!match(line, "\"" key "\": \"[^\"]*\"")) return ""
+        v = substr(line, RSTART, RLENGTH)
+        sub("\"" key "\": \"", "", v)
+        sub("\"$", "", v)
+        return v
+    }
+    # Track which argument we are reading by position, not FILENAME, so
+    # diffing a file against itself still works.
+    FNR == 1 { pass++ }
+    /"schema": "zoo-atlas\/v1"/ { schema[pass] = 1 }
+    /^    \{"name": / {
+        name = field($0, "name")
+        quad = field($0, "quadrant")
+        if (name == "" || quad == "") next
+        if (pass == 1) { old[name] = quad; old_order[++on] = name }
+        else           { new[name] = quad; new_order[++nn] = name }
+    }
+    END {
+        status = 0
+        if (!schema[1]) { printf "atlas-diff: %s is not a zoo-atlas/v1 file\n", ARGV[1]; exit 2 }
+        if (!schema[2]) { printf "atlas-diff: %s is not a zoo-atlas/v1 file\n", ARGV[2]; exit 2 }
+        for (i = 1; i <= on; i++) {
+            name = old_order[i]
+            if (!(name in new)) { printf "removed  %-40s %s\n", name, old[name]; status = 1 }
+            else if (old[name] != new[name]) {
+                printf "flipped  %-40s %s -> %s\n", name, old[name], new[name]
+                status = 1
+            }
+        }
+        for (i = 1; i <= nn; i++) {
+            name = new_order[i]
+            if (!(name in old)) { printf "added    %-40s %s\n", name, new[name]; status = 1 }
+        }
+        if (status == 0) printf "atlas-diff: %d scenarios, no quadrant flips\n", on
+        exit status
+    }
+' "$OLD" "$NEW"

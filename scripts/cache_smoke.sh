@@ -1,0 +1,117 @@
+#!/bin/sh
+# Warm-restart equivalence gate for the persistent result store, run in
+# `make check` and CI.
+#
+# Round 1: serve with an empty --store, analyze a workload (a compute
+# miss that must be persisted), shut down.  Round 2: restart on the same
+# store and analyze the same workload — the response must come from the
+# warmed cache (stats show store hits and zero analysis-cache misses,
+# i.e. zero recomputes) and be byte-identical to round 1 and to the
+# offline CLI.  Finally `repro cache verify` must pass over the store
+# the two servers produced.
+set -eu
+
+EXE=_build/default/bin/repro.exe
+OUT=_build/cache-smoke
+SOCK="${TMPDIR:-/tmp}/repro-cache-smoke-$$.sock"
+STORE="$OUT/store"
+STEP_TIMEOUT="${SERVE_SMOKE_TIMEOUT:-120}"   # seconds per client step
+DRAIN_TIMEOUT="${SERVE_SMOKE_DRAIN:-30}"     # seconds for server exit after shutdown
+
+[ -x "$EXE" ] || { echo "cache-smoke: $EXE not built (run dune build @all)" >&2; exit 1; }
+rm -rf "$OUT"
+mkdir -p "$OUT"
+rm -f "$SOCK"
+
+SERVER_PID=""
+
+diagnostics() {
+    for f in server1 server2; do
+        echo "cache-smoke: ---- $f.err (tail) ----" >&2
+        tail -n 40 "$OUT/$f.err" >&2 2>/dev/null || true
+    done
+}
+
+fail() {
+    echo "cache-smoke: $1" >&2
+    diagnostics
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    exit 1
+}
+
+bounded() {
+    if command -v timeout > /dev/null 2>&1; then
+        timeout "$STEP_TIMEOUT" "$@"
+    else
+        "$@"
+    fi
+}
+
+start_server() {
+    "$EXE" serve --quick --socket "$SOCK" --jobs 2 --store "$STORE" \
+        > "$OUT/$1.out" 2> "$OUT/$1.err" &
+    SERVER_PID=$!
+}
+
+stop_server() {
+    bounded "$EXE" client --socket "$SOCK" shutdown > /dev/null \
+        || fail "client shutdown failed or timed out (${STEP_TIMEOUT}s)"
+    waited=0
+    while kill -0 "$SERVER_PID" 2>/dev/null; do
+        if [ "$waited" -ge "$DRAIN_TIMEOUT" ]; then
+            fail "server still running ${DRAIN_TIMEOUT}s after shutdown request"
+        fi
+        sleep 1
+        waited=$((waited + 1))
+    done
+    wait "$SERVER_PID" || fail "server exited non-zero"
+    SERVER_PID=""
+}
+
+# A stats metric, by exact key, from a rendered snapshot.
+metric() {
+    awk -v key="$2" '$1 == key { print $2 }' "$1"
+}
+
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+
+# ---- round 1: cold store ------------------------------------------------
+start_server server1
+bounded "$EXE" client --wait --socket "$SOCK" analyze gcc > "$OUT/analyze1.out" \
+  || fail "round 1 analyze failed or timed out (${STEP_TIMEOUT}s)"
+bounded "$EXE" client --socket "$SOCK" stats > "$OUT/stats1.out" \
+  || fail "round 1 stats failed or timed out (${STEP_TIMEOUT}s)"
+stop_server
+
+writes=$(metric "$OUT/stats1.out" store.writes)
+[ "${writes:-0}" -ge 1 ] || fail "round 1 persisted nothing (store.writes=$writes)"
+
+# ---- round 2: warm restart ---------------------------------------------
+start_server server2
+bounded "$EXE" client --wait --socket "$SOCK" analyze gcc > "$OUT/analyze2.out" \
+  || fail "round 2 analyze failed or timed out (${STEP_TIMEOUT}s)"
+bounded "$EXE" client --socket "$SOCK" stats > "$OUT/stats2.out" \
+  || fail "round 2 stats failed or timed out (${STEP_TIMEOUT}s)"
+stop_server
+
+grep -q "warmed 1 cached analyses" "$OUT/server2.err" \
+  || fail "restarted server did not warm from the store"
+hits=$(metric "$OUT/stats2.out" store.hits)
+[ "${hits:-0}" -ge 1 ] || fail "warm restart read nothing from the store (store.hits=$hits)"
+misses=$(metric "$OUT/stats2.out" cache.misses)
+[ "${misses:-1}" -eq 0 ] || fail "warm restart recomputed an analysis (cache.misses=$misses)"
+corrupt=$(metric "$OUT/stats2.out" store.corrupt)
+[ "${corrupt:-1}" -eq 0 ] || fail "store reported corrupt entries (store.corrupt=$corrupt)"
+
+# ---- byte identity ------------------------------------------------------
+cmp "$OUT/analyze1.out" "$OUT/analyze2.out" \
+  || fail "warm-restart response differs from cold response"
+JOBS=1 "$EXE" analyze --quick gcc > "$OUT/offline.out"
+cmp "$OUT/analyze2.out" "$OUT/offline.out" \
+  || fail "served response differs from offline analyze"
+
+# ---- store self-check ---------------------------------------------------
+"$EXE" cache verify --dir "$STORE" > "$OUT/verify.out" \
+  || fail "cache verify failed over the smoke store"
+
+echo "cache-smoke: warm restart byte-identical, served from disk, zero recomputes"

@@ -318,6 +318,50 @@ let test_trace_loads_v1 () =
         (Array.length back.Sampling.Driver.samples);
       Alcotest.(check string) "v1 workload" "odb_c" back.Sampling.Driver.workload)
 
+(* The archive rewritten as version 1: same header and sample lines, no
+   trailer — what a pre-trailer writer would have produced. *)
+let v1_archive =
+  lazy
+    (let content = Lazy.force trace_archive in
+     let trailer_start =
+       String.rindex_from content (String.length content - 2) '\n' + 1
+     in
+     let body = String.sub content 0 trailer_start in
+     let prefix = "fuzzytrace 2" in
+     assert (String.sub body 0 (String.length prefix) = prefix);
+     "fuzzytrace 1"
+     ^ String.sub body (String.length prefix) (String.length body - String.length prefix))
+
+(* Exhaustive, not sampled: cut the archive at EVERY byte boundary of
+   the v2 trailer region (from the start of the trailer line to the byte
+   before the final newline).  Each cut either beheads the trailer
+   entirely or garbles it, and the declared-length check must turn every
+   one into a clean [Failure]. *)
+let test_trace_trailer_truncation_every_byte () =
+  let content = Lazy.force trace_archive in
+  let trailer_start =
+    String.rindex_from content (String.length content - 2) '\n' + 1
+  in
+  for cut = trailer_start to String.length content - 1 do
+    match Sampling.Trace_io.of_string ~label:"trunc" (String.sub content 0 cut) with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "trailer truncation at byte %d undetected" cut
+  done
+
+(* A v1 archive has no trailer to catch truncation, so the line-count
+   and per-line parses are the only defence: any proper prefix must be
+   rejected with a [Failure] — never End_of_file or a bare Scanf
+   exception escaping from half a header or sample line. *)
+let qcheck_trace_v1_short_read =
+  QCheck2.Test.make ~name:"v1 trace short reads rejected cleanly" ~count:120
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun raw ->
+      let v1 = Lazy.force v1_archive in
+      let cut = raw mod String.length v1 in
+      match Sampling.Trace_io.of_string ~label:"v1-short" (String.sub v1 0 cut) with
+      | exception Failure _ -> true
+      | _ -> false)
+
 (* ----------------------------- Phase_detect ------------------------- *)
 
 let phase_eipv () =
@@ -396,7 +440,10 @@ let () =
           Alcotest.test_case "roundtrip exact" `Quick test_trace_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_trace_rejects_garbage;
           Alcotest.test_case "loads version-1 archives" `Quick test_trace_loads_v1;
+          Alcotest.test_case "trailer truncation detected at every byte" `Quick
+            test_trace_trailer_truncation_every_byte;
           QCheck_alcotest.to_alcotest qcheck_trace_corruption;
+          QCheck_alcotest.to_alcotest qcheck_trace_v1_short_read;
         ] );
       ( "phase_detect",
         [

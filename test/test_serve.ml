@@ -163,6 +163,10 @@ let gen_snapshot =
           batch_joined = f;
           cache_hits = g;
           cache_misses = h;
+          store_hits = h lxor 21;
+          store_misses = g lxor 9;
+          store_writes = e lxor 3;
+          store_corrupt = f land 7;
           queue_high_water = 0;
           inflight_high_water = 0;
         })
