@@ -264,7 +264,16 @@ let lint_cmd =
       & info [ "waivers" ] ~docv:"FILE"
           ~doc:"Waiver baseline, relative to --root (default: lint.waivers).")
   in
-  let run json root rules waivers =
+  let deep =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Also run the whole-repo graph rules G001-G004: alias-aware \
+             nondeterminism reachability, task-context race detection, handler \
+             exception escape and the dead-export audit.")
+  in
+  let run json root rules waivers deep =
     let cfg = { Lint.Engine.default with Lint.Engine.root } in
     let cfg =
       match rules with
@@ -281,13 +290,22 @@ let lint_cmd =
       | Some w -> { cfg with Lint.Engine.waivers_file = w }
       | None -> cfg
     in
-    match Lint.Engine.run cfg with
-    | Error msg ->
-        Printf.eprintf "lint: %s\n" msg;
-        exit 2
-    | Ok res ->
-        print_string (if json then Lint.Reporter.json res else Lint.Reporter.human res);
-        if Lint.Engine.errors res > 0 then exit 1
+    let res =
+      if deep then
+        match Lint.Engine.run_deep cfg with
+        | Error msg ->
+            Printf.eprintf "lint: %s\n" msg;
+            exit 2
+        | Ok d -> d.Lint.Engine.dresult
+      else
+        match Lint.Engine.run cfg with
+        | Error msg ->
+            Printf.eprintf "lint: %s\n" msg;
+            exit 2
+        | Ok res -> res
+    in
+    print_string (if json then Lint.Reporter.json res else Lint.Reporter.human res);
+    if Lint.Engine.errors res > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "lint"
@@ -295,9 +313,53 @@ let lint_cmd =
          "Statically check the determinism & hygiene rules (D001-D008) over the source \
           tree: randomness outside Stats.Rng, wall-clock outside bench/, unsorted \
           Hashtbl traversals, stray Domain.spawn, physical equality, stdout printing in \
-          lib/, missing .mli files and wildcard exception handlers.  Exits non-zero on \
-          any unwaived error.")
-    Term.(const run $ json $ root $ rules $ waivers)
+          lib/, missing .mli files and wildcard exception handlers.  With $(b,--deep), \
+          also build the alias-aware whole-repo reference graph and run G001-G004.  \
+          Exits non-zero on any unwaived error.")
+    Term.(const run $ json $ root $ rules $ waivers $ deep)
+
+let graph_cmd =
+  let root =
+    Arg.(
+      value & opt string "."
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Directory to analyze (default: the current repo checkout).")
+  in
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ] ~doc:"Emit the module-level condensation in Graphviz syntax.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the function-level graph (nodes, edges, globals, roots) as JSON.")
+  in
+  let run root dot json =
+    let cfg = { Lint.Engine.default with Lint.Engine.root } in
+    match Lint.Engine.run_deep cfg with
+    | Error msg ->
+        Printf.eprintf "graph: %s\n" msg;
+        exit 2
+    | Ok d ->
+        let effects id =
+          match Lint.Graph.node_index d.Lint.Engine.graph id with
+          | Some i -> Lint.Effects.effect_names d.Lint.Engine.effects.(i)
+          | None -> []
+        in
+        if dot then print_string (Lint.Graph.to_dot ~effects d.Lint.Engine.graph)
+        else if json then print_string (Lint.Graph.to_json ~effects d.Lint.Engine.graph)
+        else print_string (Lint.Graph.summary d.Lint.Engine.graph)
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:
+         "Build the alias-aware whole-repo reference graph the deep linter runs on and \
+          render it: a one-line summary by default, $(b,--dot) for the module-level \
+          condensation with transitive effect sets, $(b,--json) for the full \
+          function-level graph.")
+    Term.(const run $ root $ dot $ json)
 
 let address_term =
   let socket =
@@ -783,4 +845,5 @@ let () =
             client_cmd;
             workloads_cmd;
             lint_cmd;
+            graph_cmd;
           ]))

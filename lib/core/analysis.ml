@@ -114,8 +114,6 @@ let analyze config name =
   let entry = Workload.Catalog.find name in
   analyze_model config (entry.Workload.Catalog.build ~seed:config.seed ~scale:config.scale)
 
-let exe_fraction t = March.Breakdown.exe_fraction t.breakdown
-
 let pp_summary ppf t =
   Format.fprintf ppf
     "%s: cpi=%.3f var=%.5f re_kopt=%.3f (k_opt=%d) re_final=%.3f quadrant=%a unique_eips=%d"

@@ -65,5 +65,4 @@ val of_parts : config -> name:string -> run:Sampling.Driver.run -> curve:Rtree.C
 val pool : config -> Parallel.Pool.t
 (** The shared pool for [config.jobs] (serial when [jobs = 1]). *)
 
-val exe_fraction : t -> float
 val pp_summary : Format.formatter -> t -> unit

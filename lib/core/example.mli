@@ -6,13 +6,6 @@
     yielding four chambers {EIPV4, EIPV5}, {EIPV2, EIPV6}, {EIPV0, EIPV1}
     and {EIPV3, EIPV7}. *)
 
-val cpis : float array
-(** CPI of each of the 8 EIPVs. *)
-
-val counts : int array array
-(** [counts.(j).(i)] is the execution count (in millions) of EIP_i in
-    interval j — the body of Table 1. *)
-
 val dataset : unit -> Rtree.Dataset.t
 
 val tree : unit -> Rtree.Tree.t

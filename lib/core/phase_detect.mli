@@ -30,10 +30,6 @@ val interval_signature :
     incrementally, one sealed interval at a time, with the exact batch
     semantics of {!working_set_signature}. *)
 
-val signature_distance : Bytes.t -> Bytes.t -> float
-(** Relative Hamming distance |aΔb| / |a∪b| between two signatures of
-    equal width; 0 when both are empty. *)
-
 val working_set_signature :
   ?bits:int -> ?threshold:float -> Sampling.Eipv.t -> boundaries
 (** Default 1024-bit signatures, relative-distance threshold 0.5.

@@ -67,16 +67,6 @@ let spread (run : Sampling.Driver.run) ~points =
     (Series.sparkline cpis ~width:points)
     (Stats.Describe.summary cpis)
 
-let cpi_series (eipv : Sampling.Eipv.t) ~points =
-  let cpis = Sampling.Eipv.cpis eipv in
-  let pts = Series.downsample cpis ~points in
-  let rows =
-    Array.to_list
-      (Array.map (fun (i, v) -> [| string_of_int i; Table.fmt_f ~digits:3 v |]) pts)
-  in
-  Table.render ~header:[| "interval"; "CPI" |] ~rows ()
-  ^ Printf.sprintf "CPI: %s\n" (Series.sparkline cpis ~width:40)
-
 let breakdown_series (eipv : Sampling.Eipv.t) ~points =
   let ivs = eipv.Sampling.Eipv.intervals in
   let comp f = Array.map (fun iv -> f iv.Sampling.Eipv.breakdown) ivs in

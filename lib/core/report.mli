@@ -13,14 +13,9 @@ val spread : Sampling.Driver.run -> points:int -> string
 (** Figure 3/9/11 style: the EIP spread (sample index vs EIP rank) and
     the per-interval CPI over time, as sparklines plus summary rows. *)
 
-val cpi_series : Sampling.Eipv.t -> points:int -> string
-
 val breakdown_series : Sampling.Eipv.t -> points:int -> string
 (** Figure 4/5/12 style: stacked WORK/FE/EXE/OTHER per-instruction
     components over time. *)
-
-val analysis_row : Analysis.t -> string array
-(** One Table 2 row: name, CPI var, RE_kopt, k_opt, quadrant. *)
 
 val analysis_table : Analysis.t list -> string
 val quadrant_counts : Analysis.t list -> string

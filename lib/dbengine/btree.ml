@@ -213,7 +213,6 @@ let height t =
   go t.root
 
 let n_keys t = t.n_keys
-let n_nodes t = t.next_id
 let footprint_bytes t = t.next_id * t.node_bytes
 
 let check_invariants t =

@@ -29,7 +29,6 @@ val range_trace : t -> lo:int -> hi:int -> (int -> int -> unit) -> int list
 
 val height : t -> int
 val n_keys : t -> int
-val n_nodes : t -> int
 val footprint_bytes : t -> int
 
 val check_invariants : t -> unit

@@ -10,5 +10,3 @@ let hit_ratio t =
   let a = Cache_lru.accesses t.cache in
   if a = 0 then 1.0 else float_of_int (Cache_lru.hits t.cache) /. float_of_int a
 
-let misses t = Cache_lru.misses t.cache
-let reset_stats t = Cache_lru.reset_stats t.cache

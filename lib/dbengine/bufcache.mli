@@ -13,5 +13,3 @@ val touch : t -> int -> bool
 (** [touch t addr] returns [true] on a buffer hit. *)
 
 val hit_ratio : t -> float
-val misses : t -> int
-val reset_stats : t -> unit

@@ -75,6 +75,3 @@ let hits t = t.hits
 let misses t = t.misses
 let accesses t = t.hits + t.misses
 
-let reset_stats t =
-  t.hits <- 0;
-  t.misses <- 0

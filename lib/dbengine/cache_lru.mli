@@ -14,4 +14,3 @@ val size : t -> int
 val hits : t -> int
 val misses : t -> int
 val accesses : t -> int
-val reset_stats : t -> unit

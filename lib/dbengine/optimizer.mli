@@ -17,13 +17,6 @@ type cost_model = {
   index_heap_cost : float;  (** per-match random heap fetch *)
 }
 
-val default_cost_model : cost_model
-(** Calibrated to the operator instruction costs in {!Ops}. *)
-
-val seq_cost : cost_model -> rows:int -> float
-
-val index_cost : cost_model -> matching:int -> height:int -> float
-
 val choose :
   ?model:cost_model -> rows:int -> selectivity:float -> index_height:int -> unit -> access_path
 (** [selectivity] is the matching fraction in [\[0, 1\]].  Picks the

@@ -32,9 +32,3 @@ let rec step t sink =
       end
 
 let completed t = t.completed
-let current_op t = t.ops.(t.cur)
-
-let reset t =
-  Array.iter (fun o -> o.Ops.reset ()) t.ops;
-  t.cur <- 0;
-  t.completed <- 0

@@ -15,5 +15,3 @@ val step : t -> Sink.t -> progress
 val completed : t -> int
 (** Number of complete plan executions so far. *)
 
-val current_op : t -> Ops.t
-val reset : t -> unit

@@ -232,9 +232,4 @@ let q18_variant db ~access =
   Query.create ~name:(Printf.sprintf "Q18[%s]" (Optimizer.to_string access)) ~ops
 
 let lineitem db = db.lineitem
-let orders db = db.orders
-let customer db = db.customer
 let lineitem_index db = db.lineitem_idx
-let buffer_cache db = db.buf
-let ctx db = db.ctx
-let space db = db.space

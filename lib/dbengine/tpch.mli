@@ -45,9 +45,4 @@ val region_base : int -> int
     [region_base n .. region_base n + ops - 1]). *)
 
 val lineitem : db -> Heap.t
-val orders : db -> Heap.t
-val customer : db -> Heap.t
 val lineitem_index : db -> Btree.t
-val buffer_cache : db -> Bufcache.t
-val ctx : db -> Ops.ctx
-val space : db -> Addr_space.t

@@ -1,10 +1,16 @@
 (** Deterministic source discovery: walk, read and parse the tree. *)
 
 val of_string : path:string -> string -> Rule.source
-(** Build a source from in-memory text ([.mli] paths are recorded unparsed);
-    a syntax error in a [.ml] becomes an [E000] finding on the source. *)
+(** Build a source from in-memory text ([.ml] and [.mli] are parsed with the
+    matching compiler-libs entry point); a syntax error becomes an [E000]
+    finding on the source. *)
 
 val load : root:string -> dirs:string list -> exclude:string list -> Rule.source list
 (** All [.ml]/[.mli] files under [root]/[dirs], path-sorted.  Directories that
     do not exist are skipped, as are entries starting with ['.'] or ['_']
     (e.g. [_build]) and any root-relative path with a prefix in [exclude]. *)
+
+val libraries : root:string -> (string * string) list
+(** [(directory basename, dune library name)] for every [lib/<dir>/dune]
+    declaring a [(name x)], sorted by directory.  The deep pass uses this to
+    canonicalize cross-library references (lib/core is library [fuzzy]). *)

@@ -17,6 +17,7 @@ type source = {
   path : string;
   kind : kind;
   ast : Parsetree.structure option;
+  intf : Parsetree.signature option;
   parse_error : finding option;
 }
 

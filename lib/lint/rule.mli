@@ -19,6 +19,7 @@ type source = {
   path : string;  (** root-relative, ['/']-separated *)
   kind : kind;
   ast : Parsetree.structure option;  (** parse tree; [None] for [Intf] or on error *)
+  intf : Parsetree.signature option;  (** parse tree; [None] for [Impl] or on error *)
   parse_error : finding option;  (** rule [E000] finding when parsing failed *)
 }
 

@@ -1,8 +1,11 @@
 (** D001–D004: determinism rules (randomness, wall-clock, hash-order,
     parallelism containment). *)
 
-val d001 : Rule.t
-val d002 : Rule.t
-val d003 : Rule.t
-val d004 : Rule.t
 val all : Rule.t list
+
+val wall_clock : string list
+(** The D002 primitives, shared with the deep pass (G001 resolves aliases to
+    these names). *)
+
+val hashtbl_traversals : string list
+(** The D003 primitives, shared with the deep pass. *)

@@ -1,8 +1,4 @@
 (** D005–D008: hygiene rules (physical equality, stdout discipline,
     interface coverage, exception handling). *)
 
-val d005 : Rule.t
-val d006 : Rule.t
-val d007 : Rule.t
-val d008 : Rule.t
 val all : Rule.t list

@@ -5,19 +5,56 @@ let line_col (loc : Location.t) =
   let p = loc.Location.loc_start in
   (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
 
+let parse_error_of_exn exn =
+  match Location.error_of_exn exn with
+  | Some (`Ok report) ->
+      let loc = report.Location.main.Location.loc in
+      let line, col = line_col loc in
+      let msg = Format.asprintf "%t" report.Location.main.Location.txt in
+      (line, col, msg)
+  | Some `Already_displayed | None -> (1, 0, Printexc.to_string exn)
+
 let parse_string ~path code =
   let lexbuf = Lexing.from_string code in
   Location.init lexbuf path;
   match Parse.implementation lexbuf with
   | ast -> Ok ast
-  | exception exn -> (
-      match Location.error_of_exn exn with
-      | Some (`Ok report) ->
-          let loc = report.Location.main.Location.loc in
-          let line, col = line_col loc in
-          let msg = Format.asprintf "%t" report.Location.main.Location.txt in
-          Error (line, col, msg)
-      | Some `Already_displayed | None -> Error (1, 0, Printexc.to_string exn))
+  | exception exn -> Error (parse_error_of_exn exn)
+
+let parse_interface_string ~path code =
+  let lexbuf = Lexing.from_string code in
+  Location.init lexbuf path;
+  match Parse.interface lexbuf with
+  | sg -> Ok sg
+  | exception exn -> Error (parse_error_of_exn exn)
+
+(* Shared extractor for the linter's own string-payload attributes
+   ([@lint.allow "..."], [@lint.root "..."]): the payload is split on
+   spaces and commas. *)
+let attr_strings ~name (attr : Parsetree.attribute) =
+  if attr.Parsetree.attr_name.Asttypes.txt <> name then []
+  else
+    match attr.Parsetree.attr_payload with
+    | Parsetree.PStr
+        [
+          {
+            Parsetree.pstr_desc =
+              Parsetree.Pstr_eval
+                ( {
+                    Parsetree.pexp_desc =
+                      Parsetree.Pexp_constant (Parsetree.Pconst_string (s, _, _));
+                    _;
+                  },
+                  _ );
+            _;
+          };
+        ] ->
+        String.split_on_char ' ' s
+        |> List.concat_map (String.split_on_char ',')
+        |> List.filter_map (fun id ->
+               let id = String.trim id in
+               if id = "" then None else Some id)
+    | _ -> []
 
 (* "Stdlib.Hashtbl.fold" and "Hashtbl.fold" must hit the same rules. *)
 let strip_stdlib = function "Stdlib" :: (_ :: _ as rest) -> rest | parts -> parts

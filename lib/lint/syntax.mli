@@ -8,6 +8,17 @@ val parse_string :
 (** Parse [.ml] source text; [path] seeds the lexer locations.  On a syntax
     error returns [(line, col, message)]. *)
 
+val parse_interface_string :
+  path:string -> string -> (Parsetree.signature, int * int * string) result
+(** Same for [.mli] source text. *)
+
+val attr_strings : name:string -> Parsetree.attribute -> string list
+(** The space/comma-separated words of a string-payload attribute named
+    [name] (e.g. [[@lint.allow "D003 D005"]]); [[]] for other attributes. *)
+
+val strip_stdlib : string list -> string list
+(** Drop an explicit leading ["Stdlib"] from a dotted-name segment list. *)
+
 val longident_name : Longident.t -> string option
 (** ["Hashtbl.fold"]-style dotted name with any [Stdlib.] prefix stripped;
     [None] for functor applications. *)

@@ -133,6 +133,40 @@ let allows ~file ast =
   it.Ast_iterator.structure it ast;
   !acc
 
+(* Same channel for .mli files: [@@lint.allow "G004"] on a val, or a
+   floating [@@@lint.allow "..."] for the whole interface. *)
+let allows_sig ~file (sg : Parsetree.signature) =
+  let acc = ref [] in
+  let add attrs (loc : Location.t) =
+    List.iter
+      (fun attr ->
+        List.iter
+          (fun id ->
+            acc :=
+              {
+                arule = id;
+                afile = file;
+                from_line = loc.Location.loc_start.Lexing.pos_lnum;
+                to_line = loc.Location.loc_end.Lexing.pos_lnum;
+              }
+              :: !acc)
+          (allow_ids attr))
+      attrs
+  in
+  List.iter
+    (fun (item : Parsetree.signature_item) ->
+      match item.Parsetree.psig_desc with
+      | Parsetree.Psig_value vd ->
+          add vd.Parsetree.pval_attributes vd.Parsetree.pval_loc
+      | Parsetree.Psig_attribute attr ->
+          List.iter
+            (fun id ->
+              acc := { arule = id; afile = file; from_line = 1; to_line = max_int } :: !acc)
+            (allow_ids attr)
+      | _ -> ())
+    sg;
+  !acc
+
 let allow_covers (a : allow) (f : Rule.finding) =
   a.arule = f.Rule.rule && a.afile = f.Rule.file && a.from_line <= f.Rule.line
   && f.Rule.line <= a.to_line

@@ -29,6 +29,10 @@ val allows : file:string -> Parsetree.structure -> allow list
 (** Line ranges waived by [\[@lint.allow\]] attributes on expressions, value
     bindings, or floating [\[@@@lint.allow\]] structure items (whole file). *)
 
+val allows_sig : file:string -> Parsetree.signature -> allow list
+(** The [.mli] counterpart: [\[@@lint.allow\]] on a [val] declaration (G004)
+    or a floating [\[@@@lint.allow\]] for the whole interface. *)
+
 val apply :
   t ->
   allows:allow list ->

@@ -24,7 +24,6 @@ let create ?history_bits ~table_bits () =
 
 let index t ~pc = (pc lxor t.history) land t.mask
 
-let predict t ~pc = Char.code (Bytes.get t.table (index t ~pc)) >= 2
 
 let update t ~pc ~taken =
   let i = index t ~pc in

@@ -12,7 +12,6 @@ val create : ?history_bits:int -> table_bits:int -> unit -> t
     [history_bits] (default = [table_bits]) caps the global history
     length. *)
 
-val predict : t -> pc:int -> bool
 (** Predicted direction for the branch at [pc]; no state change. *)
 
 val update : t -> pc:int -> taken:bool -> bool

@@ -20,6 +20,3 @@ let exe_fraction a =
   let t = total a in
   if t <= 0.0 then 0.0 else a.exe /. t
 
-let pp ppf a =
-  Format.fprintf ppf "work=%.3f fe=%.3f exe=%.3f other=%.3f (total %.3f)" a.work a.fe a.exe
-    a.other (total a)

@@ -24,4 +24,3 @@ val exe_fraction : t -> float
 (** EXE share of the total (the paper's "L3 miss stalls account for X% of
     CPI" metric); 0 when the total is 0. *)
 
-val pp : Format.formatter -> t -> unit

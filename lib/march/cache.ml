@@ -68,8 +68,6 @@ let probe t addr =
   let rec find w = w < t.ways && (t.tags.(base + w) = line || find (w + 1)) in
   find 0
 
-let hits t = t.hits
-let misses t = t.misses
 let accesses t = t.hits + t.misses
 
 let miss_rate t =

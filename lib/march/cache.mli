@@ -16,8 +16,6 @@ val access : t -> int -> bool
 val probe : t -> int -> bool
 (** Hit test without state change. *)
 
-val hits : t -> int
-val misses : t -> int
 val accesses : t -> int
 val miss_rate : t -> float
 val reset_stats : t -> unit

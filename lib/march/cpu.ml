@@ -30,7 +30,6 @@ let create cfg =
   }
 
 let config t = t.cfg
-let hierarchy t = t.hier
 
 let run t (q : Quantum.t) =
   let cfg = t.cfg in
@@ -88,11 +87,6 @@ let run t (q : Quantum.t) =
 let cpi r ~instrs =
   if instrs <= 0 then invalid_arg "Cpu.cpi: instrs must be positive";
   r.cycles /. float_of_int instrs
-
-let reset t =
-  Hierarchy.clear t.hier;
-  Branch.reset_stats t.branch;
-  Tlb.clear t.dtlb
 
 let pollute t ~fraction =
   if fraction < 0.0 || fraction > 1.0 then invalid_arg "Cpu.pollute: fraction out of [0,1]";

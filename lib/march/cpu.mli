@@ -26,10 +26,8 @@ type result = {
 
 val create : Config.t -> t
 val config : t -> Config.t
-val hierarchy : t -> Hierarchy.t
 val run : t -> Quantum.t -> result
 val cpi : result -> instrs:int -> float
-val reset : t -> unit
 (** Clear all microarchitectural state and statistics. *)
 
 val pollute : t -> fraction:float -> unit

@@ -48,9 +48,6 @@ let data_latency (cfg : Config.t) = function
   | Mem -> cfg.lat_mem
 
 let l1d t = t.l1d
-let l1i t = t.l1i
-let l2 t = t.l2
-let l3 t = t.l3
 let mem_data_accesses t = t.mem_data
 
 let reset_stats t =
@@ -58,11 +55,4 @@ let reset_stats t =
   Cache.reset_stats t.l1d;
   Cache.reset_stats t.l2;
   Option.iter Cache.reset_stats t.l3;
-  t.mem_data <- 0
-
-let clear t =
-  Cache.clear t.l1i;
-  Cache.clear t.l1d;
-  Cache.clear t.l2;
-  Option.iter Cache.clear t.l3;
   t.mem_data <- 0

@@ -22,13 +22,9 @@ val data_latency : Config.t -> level -> float
 (** Extra stall cycles a data access at this level costs (0 for L1). *)
 
 val l1d : t -> Cache.t
-val l1i : t -> Cache.t
-val l2 : t -> Cache.t
-val l3 : t -> Cache.t option
 
 val mem_data_accesses : t -> int
 (** Number of data references that went all the way to memory (L3 misses
     on machines with an L3). *)
 
 val reset_stats : t -> unit
-val clear : t -> unit

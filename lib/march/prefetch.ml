@@ -58,7 +58,6 @@ let on_miss t addr =
       []
 
 let confirmed_streams t = t.confirmed_total
-let issued t = t.issued
 
 let reset t =
   Array.iter

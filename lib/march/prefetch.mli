@@ -22,7 +22,6 @@ val on_miss : t -> int -> int list
 val confirmed_streams : t -> int
 (** Total streams confirmed so far (statistics). *)
 
-val issued : t -> int
 (** Total prefetches issued. *)
 
 val reset : t -> unit

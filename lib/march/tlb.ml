@@ -47,14 +47,5 @@ let access t addr =
   end
 
 let misses t = t.misses
-let accesses t = t.accesses
 
-let reset_stats t =
-  t.misses <- 0;
-  t.accesses <- 0
 
-let clear t =
-  Array.fill t.pages 0 (Array.length t.pages) (-1);
-  Array.fill t.stamps 0 (Array.length t.stamps) 0;
-  t.tick <- 0;
-  reset_stats t

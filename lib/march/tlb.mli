@@ -10,6 +10,3 @@ val access : t -> int -> bool
 (** [true] on hit; allocates on miss. *)
 
 val misses : t -> int
-val accesses : t -> int
-val reset_stats : t -> unit
-val clear : t -> unit

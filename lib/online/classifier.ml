@@ -27,7 +27,6 @@ let observe t ~cpi = Sketch.add t.sketch cpi
 let publish t ~re ~kopt = t.current_re <- Some (re, kopt)
 let n t = Sketch.n t.sketch
 let cpi_variance t = Sketch.variance t.sketch
-let cpi_mean t = Sketch.mean t.sketch
 
 (* Distance from a decision threshold in decades, squashed into [0,1). *)
 let axis_confidence ~metric ~threshold =

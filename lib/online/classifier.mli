@@ -48,7 +48,6 @@ val verdict : t -> interval:int -> drift:bool -> refit:bool -> verdict
 
 val n : t -> int
 val cpi_variance : t -> float
-val cpi_mean : t -> float
 
 val pp_verdict : Format.formatter -> verdict -> unit
 (** One line, fixed format — the unit of [repro stream]'s trace, printed

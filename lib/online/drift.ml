@@ -127,5 +127,3 @@ let observe_interval t iv =
   drift
 
 let events t = t.events
-let ph_alarms t = Page_hinkley.alarms t.ph
-let signature_changes t = t.signature_changes

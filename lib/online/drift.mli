@@ -68,5 +68,3 @@ val observe_interval : t -> Sampling.Eipv.interval -> bool
 val events : t -> int
 (** Total drifting intervals reported by {!observe_interval}. *)
 
-val ph_alarms : t -> int
-val signature_changes : t -> int

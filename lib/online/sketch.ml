@@ -32,7 +32,6 @@ let mean t = t.mean
 let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
 
 let window_fill t = t.filled
-let window_size t = Array.length t.ring
 
 (* Two-pass over the (tiny) ring: exact, and queried only once per sealed
    interval so the O(window) cost is irrelevant. *)

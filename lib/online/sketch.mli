@@ -30,4 +30,3 @@ val window_variance : t -> float
 val window_fill : t -> int
 (** Values currently buffered (at most [window]). *)
 
-val window_size : t -> int

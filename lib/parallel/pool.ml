@@ -124,7 +124,11 @@ type 'a future = {
 }
 
 let submit (type a) t (f : unit -> a) : a future =
-  if t.stopping then invalid_arg "Parallel.Pool.submit: pool is shut down";
+  (* The serve loop drains and exits before it shuts the pool down, so this
+     guard cannot fire on the request path; static analysis cannot see that
+     ordering, hence the point waiver. *)
+  if t.stopping then
+    (invalid_arg [@lint.allow "G003"]) "Parallel.Pool.submit: pool is shut down";
   let fut = { result = None; completed = Condition.create () } in
   let run () =
     match f () with

@@ -47,4 +47,3 @@ let build (run : Driver.run) ~samples_per_interval =
 
 let dataset t = Rtree.Dataset.make ~rows:t.rows ~y:t.cpis
 
-let cpi_variance t = Stats.Describe.variance t.cpis

@@ -22,4 +22,3 @@ val build : Driver.run -> samples_per_interval:int -> t
     millions (scale does not affect threshold splits). *)
 
 val dataset : t -> Rtree.Dataset.t
-val cpi_variance : t -> float

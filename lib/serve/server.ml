@@ -223,9 +223,7 @@ let run ?(on_event = fun _ -> ()) cfg address =
                 Metrics.observe_queue_depth metrics !waiting_count
               end)
   in
-  let handle sess req =
-    let seq = Session.alloc_seq sess in
-    Metrics.incr_request metrics ~kind:(Protocol.request_kind req);
+  let dispatch sess seq req =
     match req with
     | Protocol.Health ->
         respond sess seq
@@ -297,6 +295,32 @@ let run ?(on_event = fun _ -> ()) cfg address =
     | Protocol.Analyze name | Protocol.Quadrant name | Protocol.Re_curve name
       ->
         enqueue_heavy sess seq req name
+  in
+  (* The exception boundary of the inline request path: anything the
+     analysis layers throw for bad input (Ingest_feed has no other net
+     under it) becomes a typed protocol Error instead of unwinding through
+     the IO loop and killing the connection.  The deep linter (G003) checks
+     that every handler-reachable raise is caught here or earlier. *)
+  let handle sess req =
+    let seq = Session.alloc_seq sess in
+    Metrics.incr_request metrics ~kind:(Protocol.request_kind req);
+    match dispatch sess seq req with
+    | () -> ()
+    | exception Failure m ->
+        respond sess seq (Protocol.Error { code = Protocol.Failed; message = m })
+    | exception Invalid_argument m ->
+        respond sess seq (Protocol.Error { code = Protocol.Failed; message = m })
+    | exception Not_found ->
+        respond sess seq
+          (Protocol.Error
+             { code = Protocol.Failed; message = "internal lookup failed" })
+    | exception Assert_failure (file, line, _) ->
+        respond sess seq
+          (Protocol.Error
+             {
+               code = Protocol.Failed;
+               message = Printf.sprintf "internal invariant failed at %s:%d" file line;
+             })
   in
   let rec drain_frames sess =
     if not (Session.closing sess) then

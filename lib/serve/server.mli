@@ -49,9 +49,6 @@ val config_of_analysis : Fuzzy.Analysis.config -> config
     analysis config; queue 64; 32 connections; no timeout;
     {!Wire.default_max_payload}; no store counters. *)
 
-val describe_address : address -> string
-(** ["unix:PATH"] or ["tcp:127.0.0.1:PORT"]. *)
-
 val run : ?on_event:(string -> unit) -> config -> address -> Metrics.snapshot
 (** Bind, listen and serve until drained ([Shutdown] request or
     SIGINT/SIGTERM).  [on_event] receives human-readable lifecycle lines

@@ -18,9 +18,6 @@
     on every platform, which is what lets the test suite compare server
     responses with [cmp]. *)
 
-val magic : string
-(** ["FZRP"], 4 bytes. *)
-
 val version : int
 (** Current protocol version, written into every frame header. *)
 

@@ -58,7 +58,6 @@ let of_array xs =
 
 let mean xs = Acc.mean (of_array xs)
 let variance xs = Acc.variance (of_array xs)
-let stddev xs = Acc.stddev (of_array xs)
 
 let percentile xs p =
   let n = Array.length xs in

@@ -35,7 +35,6 @@ val mean : float array -> float
 val variance : float array -> float
 (** Population variance; 0 for arrays of length < 2. *)
 
-val stddev : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [\[0,100\]]; linear interpolation between

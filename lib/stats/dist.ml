@@ -57,7 +57,6 @@ let categorical_draw t rng =
   let i = Rng.int rng n in
   if Rng.float rng 1.0 < t.prob.(i) then i else t.alias.(i)
 
-let categorical_support t = Array.length t.prob
 
 type zipf = { cat : categorical }
 
@@ -67,4 +66,3 @@ let zipf ~n ~s =
   { cat = categorical weights }
 
 let zipf_draw t rng = categorical_draw t.cat rng
-let zipf_support t = categorical_support t.cat

@@ -5,6 +5,9 @@
     categorical choices (discrete distributions with an alias table). *)
 
 val uniform : Rng.t -> lo:float -> hi:float -> float
+[@@lint.allow "G004"]
+(* kept as deliberate API: the primitive the other draws are documented
+   against, and the natural entry point for new workload generators. *)
 
 val exponential : Rng.t -> mean:float -> float
 (** Exponential variate with the given mean. *)
@@ -29,7 +32,6 @@ val zipf : n:int -> s:float -> zipf
     proportional to [1/(k+1)^s].  [s = 0] degenerates to uniform. *)
 
 val zipf_draw : zipf -> Rng.t -> int
-val zipf_support : zipf -> int
 
 type categorical
 (** Discrete distribution over [0..n-1] with given weights, sampled in
@@ -39,4 +41,3 @@ val categorical : float array -> categorical
 (** Weights must be non-negative with a positive sum. *)
 
 val categorical_draw : categorical -> Rng.t -> int
-val categorical_support : categorical -> int

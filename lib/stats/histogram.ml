@@ -16,31 +16,10 @@ let add t x =
   t.total <- t.total + 1
 
 let count t i = t.counts.(i)
-let bins t = Array.length t.counts
 let total t = t.total
-let bin_lo t i = t.lo +. (float_of_int i *. (t.hi -. t.lo) /. float_of_int (bins t))
 
 let mode_bin t =
   let best = ref 0 in
   Array.iteri (fun i c -> if c > t.counts.(!best) then best := i) t.counts;
   !best
 
-let blocks = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
-                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
-
-let render t ~width =
-  let n = bins t in
-  let width = max 1 width in
-  let buf = Buffer.create width in
-  let max_count = Array.fold_left max 1 t.counts in
-  for col = 0 to width - 1 do
-    (* Aggregate the bins that map onto this column. *)
-    let b0 = col * n / width and b1 = max (col * n / width) (((col + 1) * n / width) - 1) in
-    let c = ref 0 in
-    for b = b0 to b1 do
-      c := max !c t.counts.(b)
-    done;
-    let level = !c * 8 / max_count in
-    Buffer.add_string buf blocks.(min 8 level)
-  done;
-  Buffer.contents buf

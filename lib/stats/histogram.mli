@@ -10,13 +10,7 @@ val create : lo:float -> hi:float -> bins:int -> t
 
 val add : t -> float -> unit
 val count : t -> int -> int
-val bins : t -> int
 val total : t -> int
-val bin_lo : t -> int -> float
-(** Lower edge of bin [i]. *)
-
 val mode_bin : t -> int
 (** Index of the fullest bin (ties broken towards lower index). *)
 
-val render : t -> width:int -> string
-(** Compact one-line unicode bar rendering, for terminal reports. *)

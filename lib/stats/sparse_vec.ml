@@ -88,7 +88,3 @@ let map_indices f t = of_assoc (List.map (fun (i, x) -> (f i, x)) (to_assoc t))
 
 let equal a b = a.idx = b.idx && a.v = b.v
 
-let pp ppf t =
-  Format.fprintf ppf "{";
-  iter (fun i x -> Format.fprintf ppf " %d:%g" i x) t;
-  Format.fprintf ppf " }"

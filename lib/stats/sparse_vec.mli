@@ -35,7 +35,6 @@ val max_index : t -> int
 (** Largest stored index; -1 for the empty vector. *)
 
 val iter : (int -> float -> unit) -> t -> unit
-val fold : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
 val sum : t -> float
 val norm2 : t -> float
 (** Squared Euclidean norm. *)
@@ -57,4 +56,3 @@ val map_indices : (int -> int) -> t -> t
 (** Remap indices (must remain injective and non-negative). *)
 
 val equal : t -> t -> bool
-val pp : Format.formatter -> t -> unit

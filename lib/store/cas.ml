@@ -71,7 +71,6 @@ let open_dir ~dir =
   mkdir_p dir;
   { dir; mutex = Mutex.create (); hits = 0; misses = 0; writes = 0; corrupt = 0 }
 
-let dir t = t.dir
 let shard_of_digest digest = String.sub digest 0 2
 let path_of_digest t digest = Filename.concat (Filename.concat t.dir (shard_of_digest digest)) digest
 let quarantine_dir t = Filename.concat t.dir "quarantine"

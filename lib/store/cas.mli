@@ -25,9 +25,6 @@ type stats = {
   quarantined : int;  (** files under [dir/quarantine/] *)
 }
 
-val adler32 : string -> int
-(** Same checksum Trace_io and the serve wire format use. *)
-
 val digest_of_key : string -> string
 (** ["<md5-hex>-<adler32>-<len>"] — the entry's file name. *)
 
@@ -35,9 +32,7 @@ val open_dir : dir:string -> t
 (** Create [dir] (and parents) if missing.  Counters start at zero; they
     belong to this handle, not the directory. *)
 
-val dir : t -> string
 val path_of_digest : t -> string -> string
-val quarantine_dir : t -> string
 
 val find : t -> key:string -> string option
 (** The payload stored under [key], validating the whole entry file; any

@@ -25,4 +25,3 @@ val model : ?params:params -> ?name:string -> ?addr_base:int -> seed:int -> unit
     {!Stats.Rng.split_label} streams; [addr_base] relocates the simulated
     heap (multi-tenant zoo scenarios). *)
 
-val region_base : int

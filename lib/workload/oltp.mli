@@ -34,5 +34,3 @@ val model : ?params:params -> ?name:string -> ?addr_base:int -> seed:int -> unit
     stay per-scenario.  [addr_base] relocates the simulated data heap so
     multi-tenant scenarios occupy disjoint address ranges. *)
 
-val region_base : int
-val n_regions : int

@@ -24,10 +24,6 @@ type row = {
 val schema : string
 (** Version tag embedded in both rendered forms ("zoo-atlas/v1"). *)
 
-val analyze_one : Fuzzy.Analysis.config -> Scenarios.scenario -> (row, string) result
-(** Analyze one scenario under its manifest's machine preset (the
-    config's [machine] field is overridden per scenario). *)
-
 val rows : Fuzzy.Analysis.config -> Scenarios.scenario list -> (row list, string) result
 (** Pool-mapped {!analyze_one} over the scenarios, in input order —
     bit-identical for every [config.jobs] value. *)

@@ -41,14 +41,7 @@ val find : string -> scenario option
 val machine : Manifest.t -> (March.Config.t, string) result
 (** Resolve the manifest's machine preset. *)
 
-val build :
-  Manifest.t -> (seed:int -> scale:float -> (Workload.Model.t, string) result, string) result
-(** Resolve the manifest's family to its model builder without building
-    (cheap validation). *)
-
 val model : Manifest.t -> seed:int -> scale:float -> (Workload.Model.t, string) result
 (** Build the scenario's workload model.  Any decoded manifest that
     round-trips {!Manifest.encode} rebuilds the identical model. *)
 
-val machines : string list
-(** The machine presets the generator sweeps. *)

@@ -1,0 +1,7 @@
+(* Regression fixture for the D003 aliasing blind spot.  The syntactic rule
+   keys on the literal dotted name [Hashtbl.fold], so a local module alias
+   escapes it; the graph-based G001 resolves the alias back to Hashtbl and
+   still reports the bucket-order traversal. *)
+module H = Hashtbl
+
+let count t = H.fold (fun _ _ n -> n + 1) t 0

@@ -1,0 +1,1 @@
+val count : ('a, 'b) Hashtbl.t -> int

@@ -1,0 +1,4 @@
+(* G004 fixture: [keep] is referenced from Use, [gone] is exported but
+   never referenced anywhere — the dead-export audit must flag it. *)
+let keep () = 1
+let gone () = 2

@@ -1,0 +1,2 @@
+val keep : unit -> int
+val gone : unit -> int

@@ -1,0 +1,3 @@
+(* G003 fixture: an annotated request-handler root that lets a Failure
+   escape instead of mapping it into the typed protocol error set. *)
+let[@lint.root "handler"] handle () = failwith "fixture handler escape"

@@ -1,0 +1,1 @@
+val handle : unit -> unit

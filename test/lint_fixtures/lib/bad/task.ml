@@ -1,0 +1,10 @@
+(* G002 fixture: a module-level ref mutated from inside a Pool task closure
+   with no mutex or Atomic discipline — a data race under --jobs > 1. *)
+let hits = ref 0
+
+let sweep pool xs =
+  Parallel.Pool.map pool
+    (fun x ->
+      incr hits;
+      x)
+    xs

@@ -1,0 +1,1 @@
+val sweep : Parallel.Pool.t -> int array -> int array

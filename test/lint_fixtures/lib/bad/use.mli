@@ -1,0 +1,1 @@
+val poke : Parallel.Pool.t -> ('a, 'b) Hashtbl.t -> int array -> unit

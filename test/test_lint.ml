@@ -185,7 +185,10 @@ let test_rules_filter () =
 
 (* dune runtest executes from _build/default/test; the checkout root is
    three levels up.  The whole tree must lint clean with the shipped
-   lint.waivers — the static half of the determinism gate. *)
+   lint.waivers — the static half of the determinism gate.  Exactly one
+   shallow finding is waived: graph.ml's own sorted_bindings carries a
+   point [@lint.allow "D003"] (the fold it wraps is the sanctioned
+   sorted-traversal implementation the rule steers everyone else to). *)
 let test_repo_clean () =
   let root = "../../.." in
   if not (Sys.file_exists (Filename.concat root "dune-project")) then ()
@@ -196,7 +199,7 @@ let test_repo_clean () =
         let render = Reporter.human res in
         Alcotest.(check string)
           "repo lints clean (zero errors, zero warnings)"
-          (Printf.sprintf "lint clean: %d files checked, 0 finding(s) waived.\n"
+          (Printf.sprintf "lint clean: %d files checked, 1 finding(s) waived.\n"
              res.Engine.files)
           render
 
