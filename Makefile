@@ -1,6 +1,6 @@
 # Convenience targets mirroring CI.
 
-.PHONY: build check test bench bench-gate bench-baseline lint lint-deep lint-smoke serve-smoke cache-smoke atlas-diff zoo-atlas zoo-baseline clean
+.PHONY: build check test bench bench-gate bench-baseline lint lint-deep lint-smoke serve-smoke load-smoke cache-smoke atlas-diff zoo-atlas zoo-baseline clean
 
 # @all also builds the examples and benches, so they cannot bitrot.
 build:
@@ -14,7 +14,7 @@ build:
 # fixture tree (which must also make lint exit non-zero), and two end-to-end
 # CLI transcripts are golden-compared so the optimized tree/CV hot path can
 # never drift from the byte output it had before the rewrite.
-check: build lint lint-deep lint-smoke serve-smoke cache-smoke
+check: build lint lint-deep lint-smoke serve-smoke load-smoke cache-smoke
 	QCHECK_SEED=1 JOBS=1 dune runtest --force
 	QCHECK_SEED=1 JOBS=4 dune runtest --force
 	dune exec bin/repro.exe -- stream odb_h_q13 mcf --quick --jobs 1 > _build/stream-j1.out
@@ -58,6 +58,13 @@ lint-smoke: build
 # CLI (DESIGN.md §11).
 serve-smoke: build
 	sh scripts/serve_smoke.sh
+
+# Concurrent-load smoke (DESIGN.md §16): N forked clients against a
+# sharded server, every response byte-verified; phase two turns on
+# per-peer rate limiting and requires typed refusals with zero lost or
+# mismatched responses.  LOAD_EVLOOP/LOAD_SHARDS select backend/shards.
+load-smoke: build
+	sh scripts/load_test.sh
 
 # Warm-restart equivalence gate (DESIGN.md §14): serve with a cold
 # persistent store, restart on the same store, and require the warm

@@ -449,9 +449,7 @@ let percentile sorted p =
   let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
   sorted.(max 0 (min (n - 1) rank))
 
-let run_serve_report () =
-  let sock = Filename.temp_file "repro_serve_bench" ".sock" in
-  Sys.remove sock;
+let fork_server ?(io_shards = 1) sock =
   match Unix.fork () with
   | 0 ->
       let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
@@ -461,12 +459,88 @@ let run_serve_report () =
         Serve.Server.config_of_analysis
           { Fuzzy.Analysis.quick with Fuzzy.Analysis.jobs = 1 }
       in
+      let cfg = { cfg with Serve.Server.io_shards } in
       ignore (Serve.Server.run cfg (Serve.Server.Unix_socket sock));
       exit 0
+  | pid -> pid
+
+(* Sharded health throughput: [clients] forked client processes hammer a
+   server child running [io_shards] IO domains, and every single response
+   is verified — "zero lost responses" is checked, not assumed.  The
+   shard speedup only materialises when the box has cores to spare, so
+   the core count is recorded next to the numbers. *)
+let sharded_health_rps ~io_shards ~clients ~per_client =
+  let sock = Filename.temp_file "repro_serve_bench" ".sock" in
+  Sys.remove sock;
+  let pid = fork_server ~io_shards sock in
+  let address = Serve.Server.Unix_socket sock in
+  let finish () =
+    (try Sys.remove sock with Sys_error _ -> ());
+    ignore (Unix.waitpid [] pid)
+  in
+  try
+    (* Readiness probe, outside the timed window. *)
+    Serve.Client.with_connection ~retry_for:200 address (fun conn ->
+        match Serve.Client.call conn Serve.Protocol.Health with
+        | Ok (Serve.Protocol.Health_ok _) -> ()
+        | Ok r -> failwith (Serve.Protocol.render_response r)
+        | Error m -> failwith m);
+    let w0 = Unix.gettimeofday () in
+    let pids =
+      List.init clients (fun _ ->
+          match Unix.fork () with
+          | 0 ->
+              let status =
+                try
+                  Serve.Client.with_connection ~retry_for:200 address
+                    (fun conn ->
+                      let ok = ref 0 in
+                      for _ = 1 to per_client do
+                        match Serve.Client.call conn Serve.Protocol.Health with
+                        | Ok (Serve.Protocol.Health_ok _) -> incr ok
+                        | Ok _ | Error _ -> ()
+                      done;
+                      if !ok = per_client then 0 else 1)
+                with Failure _ | Unix.Unix_error (_, _, _) | Sys_error _ -> 1
+              in
+              Unix._exit status
+          | pid -> pid)
+    in
+    let lost =
+      List.fold_left
+        (fun acc pid ->
+          match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 0 -> acc
+          | _ -> acc + 1)
+        0 pids
+    in
+    let dt = Unix.gettimeofday () -. w0 in
+    Serve.Client.with_connection ~retry_for:200 address (fun conn ->
+        ignore (Serve.Client.call conn Serve.Protocol.Shutdown));
+    finish ();
+    if lost > 0 then
+      failwith (Printf.sprintf "%d client(s) lost responses" lost);
+    float_of_int (clients * per_client) /. dt
+  with Failure m ->
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error (_, _, _) -> ());
+    finish ();
+    failwith ("sharded health: " ^ m)
+
+let run_serve_report () =
+  let sock = Filename.temp_file "repro_serve_bench" ".sock" in
+  Sys.remove sock;
+  match fork_server sock with
   | pid -> (
+      (* Idempotent: the failure path may run after the success path
+         already reaped the serial server (the sharded phase runs its
+         own servers afterwards). *)
+      let finished = ref false in
       let finish () =
-        (try Sys.remove sock with Sys_error _ -> ());
-        ignore (Unix.waitpid [] pid)
+        if not !finished then begin
+          finished := true;
+          (try Sys.remove sock with Sys_error _ -> ());
+          ignore (Unix.waitpid [] pid)
+        end
       in
       try
         let conn = Serve.Client.connect ~retry_for:200 (Serve.Server.Unix_socket sock) in
@@ -500,12 +574,35 @@ let run_serve_report () =
         call Serve.Protocol.Shutdown;
         Serve.Client.close conn;
         finish ();
+        (* Shard scaling: same health request, 8 concurrent client
+           processes, one server per shard count.  Each server child
+           spawns its own IO domains, which is fork-safe here because
+           the domains live only in the child. *)
+        let clients = 8 and per_client = 1_000 in
+        let sharded =
+          List.map
+            (fun io_shards ->
+              (io_shards, sharded_health_rps ~io_shards ~clients ~per_client))
+            [ 1; 4 ]
+        in
+        let cores = Domain.recommended_domain_count () in
         print_endline "serve RPC (unix socket, serial server):";
         List.iter
           (fun (name, n, rps, p50, p99) ->
             Printf.printf "  %-16s %9.0f req/s  p50 %8.1f us  p99 %8.1f us  (%d requests)\n"
               name rps p50 p99 n)
           rows;
+        Printf.printf
+          "serve health under load (%d clients x %d requests, zero lost, %d core(s)):\n"
+          clients per_client cores;
+        List.iter
+          (fun (io_shards, rps) ->
+            Printf.printf "  io_shards=%d      %9.0f req/s\n" io_shards rps)
+          sharded;
+        (match sharded with
+        | [ (_, base); (_, wide) ] ->
+            Printf.printf "  shard speedup %9.2fx\n" (wide /. base)
+        | _ -> ());
         let oc = open_out "BENCH_serve.json" in
         Fun.protect
           ~finally:(fun () -> close_out oc)
@@ -519,12 +616,136 @@ let run_serve_report () =
                   name n rps p50 p99
                   (if i = 1 then "" else ","))
               rows;
+            Printf.fprintf oc "  ],\n  \"cores\": %d,\n  \"sharded_health\": [\n"
+              cores;
+            List.iteri
+              (fun i (io_shards, rps) ->
+                Printf.fprintf oc
+                  "    {\"io_shards\": %d, \"clients\": %d, \"requests\": %d, \"rps\": %.1f, \"lost\": 0}%s\n"
+                  io_shards clients (clients * per_client) rps
+                  (if i = List.length sharded - 1 then "" else ","))
+              sharded;
             Printf.fprintf oc "  ]\n}\n");
         Printf.printf "[serve phase: wrote BENCH_serve.json]\n\n%!"
       with Failure m ->
         (try Unix.kill pid Sys.sigterm with Unix.Unix_error (_, _, _) -> ());
         finish ();
         Printf.printf "serve RPC bench failed: %s\n\n%!" m)
+
+(* ------------------------------ loadgen ----------------------------- *)
+
+(* `bench/main.exe -- --load --socket PATH [--clients N] [--requests M]`:
+   the load generator behind scripts/load_test.sh.  Forks N client
+   processes against an already-running server; each cycles
+   health/analyze/quadrant, byte-compares every successful response
+   against the first one it saw for that request, and classifies typed
+   admission refusals separately.  Prints one summary line and exits
+   non-zero on any lost or mismatched response — refusals are fine (the
+   script runs a phase with rate limiting on and expects some), silent
+   corruption is not. *)
+let run_load args =
+  let rec opt name = function
+    | [] -> None
+    | k :: v :: _ when String.equal k name -> Some v
+    | _ :: rest -> opt name rest
+  in
+  let socket =
+    match opt "--socket" args with
+    | Some s -> s
+    | None -> failwith "load: --socket PATH required"
+  in
+  let int_opt name default =
+    match opt name args with
+    | None -> default
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> n
+        | Some _ | None ->
+            failwith (Printf.sprintf "load: %s expects a positive integer" name))
+  in
+  let clients = int_opt "--clients" 8 in
+  let per_client = int_opt "--requests" 60 in
+  let address = Serve.Server.Unix_socket socket in
+  let script r =
+    match r mod 3 with
+    | 0 -> Serve.Protocol.Health
+    | 1 -> Serve.Protocol.Analyze "gzip"
+    | _ -> Serve.Protocol.Quadrant "gzip"
+  in
+  let files =
+    List.init clients (fun i -> Filename.temp_file "repro_load" (string_of_int i))
+  in
+  flush stdout;
+  let pids =
+    List.map
+      (fun file ->
+        match Unix.fork () with
+        | 0 ->
+            let got = ref 0
+            and ok = ref 0
+            and refused = ref 0
+            and mismatched = ref 0 in
+            let refs = Hashtbl.create 3 in
+            (try
+               Serve.Client.with_connection ~retry_for:200 address (fun conn ->
+                   for r = 0 to per_client - 1 do
+                     match Serve.Client.call_raw conn (script r) with
+                     | Error _ -> ()
+                     | Ok payload -> (
+                         incr got;
+                         match Serve.Protocol.decode_response payload with
+                         | Ok
+                             (Serve.Protocol.Error
+                                {
+                                  code =
+                                    ( Serve.Protocol.Rate_limited
+                                    | Serve.Protocol.Too_large
+                                    | Serve.Protocol.Overloaded
+                                    | Serve.Protocol.Timeout
+                                    | Serve.Protocol.Busy );
+                                  _;
+                                }) ->
+                             incr refused
+                         | Ok (Serve.Protocol.Error _) | Error _ ->
+                             incr mismatched
+                         | Ok _ -> (
+                             match Hashtbl.find_opt refs (r mod 3) with
+                             | None ->
+                                 Hashtbl.replace refs (r mod 3) payload;
+                                 incr ok
+                             | Some reference ->
+                                 if String.equal reference payload then incr ok
+                                 else incr mismatched))
+                   done)
+             with Failure _ | Unix.Unix_error (_, _, _) | Sys_error _ -> ());
+            let out = open_out file in
+            Printf.fprintf out "%d %d %d %d\n" !got !ok !refused !mismatched;
+            close_out out;
+            Unix._exit 0
+        | pid -> pid)
+      files
+  in
+  List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+  let got, ok, refused, mismatched =
+    List.fold_left
+      (fun (g, o, r, m) file ->
+        let ic = open_in file in
+        let line = input_line ic in
+        close_in ic;
+        Sys.remove file;
+        Scanf.sscanf line "%d %d %d %d" (fun a b c d ->
+            (g + a, o + b, r + c, m + d)))
+      (0, 0, 0, 0) files
+  in
+  let sent = clients * per_client in
+  let lost = sent - got in
+  Printf.printf
+    "load: clients=%d requests/client=%d sent=%d got=%d ok=%d refused=%d mismatched=%d lost=%d\n%!"
+    clients per_client sent got ok refused mismatched lost;
+  if lost > 0 || mismatched > 0 then begin
+    Printf.printf "load: FAIL\n%!";
+    exit 1
+  end
 
 (* -------------------------------- main ------------------------------ *)
 
@@ -632,7 +853,9 @@ let () =
   let experiments_only = List.mem "--experiments-only" args in
   let quick = List.mem "--quick" args in
   let json = List.mem "--json" args in
-  if List.mem "--zoo" args then run_zoo_report ()
+  if List.mem "--load" args then run_load args
+  else if List.mem "--serve" args then run_serve_report ()
+  else if List.mem "--zoo" args then run_zoo_report ()
   else if List.mem "--store" args then run_store_report ()
   else if json then
     (* Gate mode: only the core kernels, JSON on stdout and nothing else

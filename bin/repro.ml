@@ -424,7 +424,86 @@ let serve_cmd =
              cache from it at startup, persist every newly computed analysis into it, and \
              report store hit/miss/write/corrupt counters in the stats RPC.")
   in
-  let run config address queue max_conns timeout status store_dir =
+  let io_shards =
+    Arg.(
+      value
+      & opt (bounded_int ~min:1 ~what:"IO-SHARDS") 1
+      & info [ "io-shards" ] ~docv:"N"
+          ~doc:
+            "Accept/IO domains.  Connections are assigned a shard by connection id; each \
+             shard runs its own event loop and session table, all feeding the one shared \
+             worker pool.  Responses stay byte-identical for every value.")
+  in
+  let backlog =
+    Arg.(
+      value
+      & opt (bounded_int ~min:1 ~what:"BACKLOG") Serve.Server.default_backlog
+      & info [ "backlog" ] ~docv:"N" ~doc:"listen(2) backlog for the accept socket.")
+  in
+  let evloop_conv =
+    let parse s =
+      match Evloop.backend_of_string s with
+      | Ok b -> Ok b
+      | Error m -> Error (`Msg m)
+    in
+    Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt (Evloop.backend_name b))
+  in
+  let evloop =
+    Arg.(
+      value
+      & opt (some evloop_conv) None
+      & info [ "evloop" ] ~docv:"BACKEND"
+          ~doc:
+            "Event-loop backend: `epoll' (Linux) or `select' (portable).  Default: the best \
+             available.  Behavior is byte-identical on both; only scalability differs.")
+  in
+  let rate_burst =
+    Arg.(
+      value
+      & opt (bounded_int ~min:0 ~what:"RATE-BURST") 0
+      & info [ "rate-burst" ] ~docv:"N"
+          ~doc:
+            "Admission: per-peer token bucket of $(docv) tokens for heavy requests (0 \
+             disables rate limiting).  Tokens refill per request-count tick, never wall \
+             clock, so the admit/reject sequence is replayable.")
+  in
+  let rate_every =
+    Arg.(
+      value
+      & opt (bounded_int ~min:1 ~what:"RATE-EVERY") 4
+      & info [ "rate-every" ] ~docv:"TICKS"
+          ~doc:"Admission: restore one token every $(docv) of the peer's own request ticks.")
+  in
+  let max_request =
+    Arg.(
+      value
+      & opt (bounded_int ~min:0 ~what:"MAX-REQUEST") 0
+      & info [ "max-request" ] ~docv:"BYTES"
+          ~doc:
+            "Admission: refuse heavy requests whose payload exceeds $(docv) bytes with \
+             `too_large' (0 = unlimited).")
+  in
+  let breaker_trip =
+    Arg.(
+      value
+      & opt (bounded_int ~min:0 ~what:"BREAKER-TRIP") 0
+      & info [ "breaker-trip" ] ~docv:"K"
+          ~doc:
+            "Admission: open a peer's circuit breaker after $(docv) consecutive shed \
+             outcomes (queue-full or timeout); 0 disables the breaker.")
+  in
+  let breaker_probe =
+    Arg.(
+      value
+      & opt (bounded_int ~min:1 ~what:"BREAKER-PROBE") 8
+      & info [ "breaker-probe" ] ~docv:"TICKS"
+          ~doc:
+            "Admission: an open breaker half-opens after $(docv) of the peer's own ticks \
+             and admits a single probe whose outcome closes or re-opens it.")
+  in
+  let run config address queue max_conns timeout status store_dir io_shards
+      backlog evloop rate_burst rate_every max_request breaker_trip
+      breaker_probe =
     if status then
       match
         Serve.Client.with_connection address (fun c -> Serve.Client.call c Serve.Protocol.Stats)
@@ -442,6 +521,25 @@ let serve_cmd =
           Store.Result_cache.attach ~dir;
           let loaded = Store.Result_cache.warm ~jobs:config.Fuzzy.Analysis.jobs () in
           Printf.eprintf "repro-serve: store %s: warmed %d cached analyses\n%!" dir loaded);
+      (match evloop with
+      | Some Evloop.Epoll when not (Evloop.epoll_available ()) ->
+          Printf.eprintf "repro-serve: the epoll backend is not available on this platform\n";
+          exit 1
+      | _ -> ());
+      let admission =
+        {
+          Admission.bucket_capacity = rate_burst;
+          refill_every = rate_every;
+          max_request_bytes = max_request;
+          breaker_trip;
+          breaker_probe_after = breaker_probe;
+        }
+      in
+      if Admission.enabled admission then
+        Printf.eprintf
+          "repro-serve: admission control on (burst=%d every=%d max-request=%d \
+           breaker=%d/%d)\n%!"
+          rate_burst rate_every max_request breaker_trip breaker_probe;
       let scfg = Serve.Server.config_of_analysis config in
       let scfg =
         {
@@ -451,6 +549,10 @@ let serve_cmd =
           Serve.Server.queue_capacity = max 0 queue;
           max_connections = max 1 max_conns;
           request_timeout = timeout;
+          io_shards;
+          backlog;
+          evloop;
+          admission;
           store_counters =
             (fun () ->
               Option.map
@@ -476,7 +578,9 @@ let serve_cmd =
           metrics.  Responses are byte-identical to the offline commands for every \
           --jobs value.")
     Term.(
-      const run $ config_term $ address_term $ queue $ max_conns $ timeout $ status $ store_dir)
+      const run $ config_term $ address_term $ queue $ max_conns $ timeout $ status
+      $ store_dir $ io_shards $ backlog $ evloop $ rate_burst $ rate_every
+      $ max_request $ breaker_trip $ breaker_probe)
 
 let client_cmd =
   let args =

@@ -1,0 +1,178 @@
+(* Request-count-driven admission gates.  Everything here is a pure
+   function of each peer's own trace: ticks are "checks this peer has
+   made", so shard interleaving and wall clock never influence a
+   decision (the determinism doctrine; see DESIGN.md §16). *)
+
+type config = {
+  bucket_capacity : int;
+  refill_every : int;
+  max_request_bytes : int;
+  breaker_trip : int;
+  breaker_probe_after : int;
+}
+
+let off =
+  {
+    bucket_capacity = 0;
+    refill_every = 1;
+    max_request_bytes = 0;
+    breaker_trip = 0;
+    breaker_probe_after = 1;
+  }
+
+let enabled c =
+  c.bucket_capacity > 0 || c.max_request_bytes > 0 || c.breaker_trip > 0
+
+type decision =
+  | Admit
+  | Reject_rate_limited
+  | Reject_too_large
+  | Reject_breaker_open
+
+type counters = {
+  admitted : int;
+  rate_limited : int;
+  too_large : int;
+  breaker_rejected : int;
+  breaker_trips : int;
+}
+
+type breaker = Closed | Open of int  (* peer tick at trip *) | Half_open
+
+type peer_state = {
+  mutable tokens : int;
+  mutable ticks : int;  (* checks seen from this peer *)
+  mutable consec_sheds : int;
+  mutable breaker : breaker;
+}
+
+type t = {
+  config : config;
+  peers : (string, peer_state) Hashtbl.t;
+  mutable admitted : int;
+  mutable rate_limited : int;
+  mutable too_large : int;
+  mutable breaker_rejected : int;
+  mutable breaker_trips : int;
+}
+
+let create config =
+  let config =
+    {
+      config with
+      refill_every = max 1 config.refill_every;
+      breaker_probe_after = max 1 config.breaker_probe_after;
+    }
+  in
+  { config;
+    peers = Hashtbl.create 64;
+    admitted = 0;
+    rate_limited = 0;
+    too_large = 0;
+    breaker_rejected = 0;
+    breaker_trips = 0;
+  }
+
+let peer_state t peer =
+  match Hashtbl.find_opt t.peers peer with
+  | Some p -> p
+  | None ->
+      let p =
+        { tokens = t.config.bucket_capacity;
+          ticks = 0;
+          consec_sheds = 0;
+          breaker = Closed;
+        }
+      in
+      Hashtbl.replace t.peers peer p;
+      p
+
+let probe_due t p =
+  match p.breaker with
+  | Open since -> p.ticks - since >= t.config.breaker_probe_after
+  | Closed | Half_open -> false
+
+let check t ~peer ~bytes =
+  let c = t.config in
+  let p = peer_state t peer in
+  p.ticks <- p.ticks + 1;
+  (* Refill before gating: a token restored on this very tick is
+     spendable by this very request. *)
+  if c.bucket_capacity > 0 && p.ticks mod c.refill_every = 0 then
+    p.tokens <- min c.bucket_capacity (p.tokens + 1);
+  if c.max_request_bytes > 0 && bytes > c.max_request_bytes then begin
+    t.too_large <- t.too_large + 1;
+    Reject_too_large
+  end
+  else
+    match p.breaker with
+    | Half_open ->
+        (* One probe in flight; everything else waits on its outcome. *)
+        t.breaker_rejected <- t.breaker_rejected + 1;
+        Reject_breaker_open
+    | Open _ when not (probe_due t p) ->
+        t.breaker_rejected <- t.breaker_rejected + 1;
+        Reject_breaker_open
+    | Open _ ->
+        (* The probe bypasses the bucket and spends no token: its only
+           job is to test whether the backend has recovered. *)
+        p.breaker <- Half_open;
+        t.admitted <- t.admitted + 1;
+        Admit
+    | Closed ->
+        if c.bucket_capacity > 0 && p.tokens <= 0 then begin
+          t.rate_limited <- t.rate_limited + 1;
+          Reject_rate_limited
+        end
+        else begin
+          if c.bucket_capacity > 0 then p.tokens <- p.tokens - 1;
+          t.admitted <- t.admitted + 1;
+          Admit
+        end
+
+let record t ~peer ~shed =
+  match Hashtbl.find_opt t.peers peer with
+  | None -> ()
+  | Some p ->
+      if shed then begin
+        p.consec_sheds <- p.consec_sheds + 1;
+        match p.breaker with
+        | Half_open ->
+            (* Failed probe: re-open, restart the probe countdown. *)
+            p.breaker <- Open p.ticks;
+            t.breaker_trips <- t.breaker_trips + 1
+        | Closed
+          when t.config.breaker_trip > 0
+               && p.consec_sheds >= t.config.breaker_trip ->
+            p.breaker <- Open p.ticks;
+            t.breaker_trips <- t.breaker_trips + 1
+        | Closed | Open _ -> ()
+      end
+      else begin
+        p.consec_sheds <- 0;
+        match p.breaker with
+        | Half_open -> p.breaker <- Closed
+        | Closed | Open _ -> ()
+      end
+
+let forget t ~peer = Hashtbl.remove t.peers peer
+
+let counters t =
+  {
+    admitted = t.admitted;
+    rate_limited = t.rate_limited;
+    too_large = t.too_large;
+    breaker_rejected = t.breaker_rejected;
+    breaker_trips = t.breaker_trips;
+  }
+
+let breaker_open t ~peer =
+  match Hashtbl.find_opt t.peers peer with
+  | None -> false
+  | Some p -> (
+      match p.breaker with
+      | Half_open -> true
+      | Open since ->
+          (* Would the peer's next tick still be refused? *)
+          p.ticks + 1 - since < t.config.breaker_probe_after
+      | Closed -> false)

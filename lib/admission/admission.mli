@@ -1,0 +1,80 @@
+(** Deterministic admission control for the serve layer.
+
+    Three gates run in front of the heavy-work queue, all driven by
+    request counts rather than wall clock so that a given per-client
+    request trace always produces the same admit/reject sequence — at
+    any [--jobs], any [--io-shards], and on replay:
+
+    - a {b request-size budget}: frames whose decoded payload exceeds
+      [max_request_bytes] are refused up front ([`Too_large]);
+    - a {b per-peer circuit breaker}: after [breaker_trip] consecutive
+      shed outcomes (queue-full / deadline-expired) the breaker opens
+      and refuses further work from that peer; after
+      [breaker_probe_after] of the peer's own ticks it half-opens and
+      admits a single probe whose outcome closes or re-opens it;
+    - a {b per-peer token bucket}: a bucket of [bucket_capacity] tokens,
+      one token restored every [refill_every] of the peer's own ticks;
+      an empty bucket refuses with [`Rate_limited].
+
+    A {e tick} is one {!check} call by that peer — admitted or not — so
+    each client's fate depends only on its own history, never on how
+    traffic from other clients interleaves across shards.
+
+    The structure is not synchronized; the server calls it under its
+    core lock.  Counters are cumulative and read via {!counters}. *)
+
+type config = {
+  bucket_capacity : int;  (** tokens per peer; [0] disables rate limiting *)
+  refill_every : int;  (** peer ticks per restored token (min 1) *)
+  max_request_bytes : int;  (** request payload cap; [0] = unlimited *)
+  breaker_trip : int;
+      (** consecutive sheds that open the breaker; [0] disables it *)
+  breaker_probe_after : int;
+      (** peer ticks an open breaker waits before admitting a probe *)
+}
+
+val off : config
+(** All gates disabled — the default serve behavior. *)
+
+val enabled : config -> bool
+(** Does any gate do anything?  [false] for {!off}. *)
+
+type decision =
+  | Admit
+  | Reject_rate_limited
+  | Reject_too_large
+  | Reject_breaker_open
+      (** Surfaced on the wire as [overloaded], but counted apart. *)
+
+type counters = {
+  admitted : int;
+  rate_limited : int;
+  too_large : int;
+  breaker_rejected : int;
+  breaker_trips : int;
+}
+
+type t
+
+val create : config -> t
+
+val check : t -> peer:string -> bytes:int -> decision
+(** Gate one request of [bytes] payload from [peer].  Advances the
+    peer's tick and updates counters.  Gate order: size budget, then
+    breaker, then token bucket (a refused request consumes no token). *)
+
+val record : t -> peer:string -> shed:bool -> unit
+(** Report the outcome of a previously admitted request: [shed] means
+    the server dropped it (queue full, deadline expired) rather than
+    serving it.  Feeds the breaker; unknown peers are ignored (the
+    connection may have been forgotten before completion). *)
+
+val forget : t -> peer:string -> unit
+(** Drop a peer's state (bucket and breaker) once no connection with
+    that identity remains. *)
+
+val counters : t -> counters
+
+val breaker_open : t -> peer:string -> bool
+(** Is the peer's breaker currently refusing (open, and not yet due for
+    a probe)?  Exposed for tests. *)

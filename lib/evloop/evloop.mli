@@ -1,0 +1,70 @@
+(** A uniform readiness API over [epoll] (Linux) and [Unix.select] (the
+    portable fallback), for the serve layer's per-shard IO loops.
+
+    One {!t} watches a set of file descriptors for read and/or write
+    interest.  {!wait} blocks until something is ready (or the timeout
+    elapses), then {!readable} and {!writable} answer membership queries
+    against the ready set of that wait — the caller iterates its own
+    (deterministically ordered) session list and asks, so event delivery
+    order never leaks into behavior, whichever backend produced it.
+
+    Every loop owns a self-pipe wakeup: {!wake} is safe to call from any
+    domain (pool workers, sibling shards, signal handlers) and makes the
+    next (or current) {!wait} return promptly with {!woken} set.  The
+    wakeup pipe is drained internally; it is never visible as a readable
+    descriptor.
+
+    Failures surface as [Unix.Unix_error]; the module never raises
+    [Failure]/[Invalid_argument] on the serve path (G003).  Descriptors
+    must be {!remove}d before they are closed — both backends index by
+    raw descriptor, and select would die with [EBADF] on a stale one. *)
+
+type backend = Select | Epoll
+
+type t
+
+val epoll_available : unit -> bool
+(** [true] iff the epoll stubs are backed by a real Linux epoll. *)
+
+val best : unit -> backend
+(** [Epoll] when available, else [Select]. *)
+
+val backend_of_string : string -> (backend, string) result
+(** ["select"] / ["epoll"] (case-sensitive); anything else is an
+    [Error] naming the valid spellings. *)
+
+val backend_name : backend -> string
+
+val create : backend -> t
+(** Raises [Unix.Unix_error (EUNKNOWNERR _, "epoll_create", _)] if the
+    [Epoll] backend is requested where it is unavailable — callers gate
+    on {!epoll_available} or use {!best}. *)
+
+val backend : t -> backend
+
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+val modify : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+
+val remove : t -> Unix.file_descr -> unit
+(** Forget a descriptor.  Must precede [Unix.close].  Removing a
+    descriptor that was never added is a no-op. *)
+
+val wait : t -> timeout_ms:int -> unit
+(** Block until at least one watched descriptor is ready, {!wake} is
+    called, or [timeout_ms] elapses ([timeout_ms < 0] means forever).
+    Replaces the ready sets queried by {!readable}/{!writable}/{!woken};
+    interrupted waits ([EINTR]) return with empty ready sets. *)
+
+val readable : t -> Unix.file_descr -> bool
+val writable : t -> Unix.file_descr -> bool
+
+val woken : t -> bool
+(** Did the last {!wait} consume a {!wake}?  (The wake bytes themselves
+    are drained internally.) *)
+
+val wake : t -> unit
+(** Thread-/domain-safe: nudge the loop out of {!wait}. *)
+
+val close : t -> unit
+(** Release the backend's descriptors (epoll fd, wakeup pipe).  Watched
+    descriptors themselves are not closed. *)

@@ -1,0 +1,113 @@
+/* epoll externals for Evloop.  File descriptors, ops and flag masks are
+   plain tagged integers on both sides (Unix.file_descr is an immediate
+   int on Unix systems); event arrays are allocated here.
+
+   On non-Linux hosts every stub degrades to a constant "unsupported"
+   answer, so the OCaml side needs no conditional compilation: the
+   Select backend is simply the only one epoll_available() admits. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/signals.h>
+
+CAMLprim value repro_fd_of_int(value v) { return v; }
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <unistd.h>
+#include <string.h>
+#include <errno.h>
+
+CAMLprim value repro_epoll_supported(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+CAMLprim value repro_epoll_create(value unit)
+{
+  (void)unit;
+  int fd = epoll_create1(EPOLL_CLOEXEC);
+  return Val_long(fd >= 0 ? fd : -errno);
+}
+
+CAMLprim value repro_epoll_ctl(value vepfd, value vop, value vfd, value vflags)
+{
+  struct epoll_event ev;
+  int op;
+  switch (Long_val(vop)) {
+  case 0: op = EPOLL_CTL_ADD; break;
+  case 1: op = EPOLL_CTL_MOD; break;
+  default: op = EPOLL_CTL_DEL; break;
+  }
+  memset(&ev, 0, sizeof ev);
+  if (Long_val(vflags) & 1) ev.events |= EPOLLIN;
+  if (Long_val(vflags) & 2) ev.events |= EPOLLOUT;
+  ev.data.fd = (int)Long_val(vfd);
+  if (epoll_ctl((int)Long_val(vepfd), op, (int)Long_val(vfd), &ev) < 0)
+    return Val_long(-errno);
+  return Val_long(0);
+}
+
+#define REPRO_EPOLL_MAX_EVENTS 512
+
+CAMLprim value repro_epoll_wait(value vepfd, value vtimeout_ms)
+{
+  CAMLparam2(vepfd, vtimeout_ms);
+  CAMLlocal2(arr, pair);
+  struct epoll_event evs[REPRO_EPOLL_MAX_EVENTS];
+  int epfd = (int)Long_val(vepfd);
+  int timeout = (int)Long_val(vtimeout_ms);
+  int n, i;
+
+  /* The wait must release the domain lock: a domain parked inside a
+     C call would otherwise stall every stop-the-world GC. */
+  caml_enter_blocking_section();
+  n = epoll_wait(epfd, evs, REPRO_EPOLL_MAX_EVENTS, timeout);
+  caml_leave_blocking_section();
+
+  if (n < 0) n = 0; /* EINTR and friends: an empty ready set */
+  arr = n == 0 ? Atom(0) : caml_alloc(n, 0);
+  for (i = 0; i < n; i++) {
+    long flags = 0;
+    /* Error/hangup marks both directions so the owner discovers the
+       condition through an ordinary read/write attempt. */
+    if (evs[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) flags |= 1;
+    if (evs[i].events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) flags |= 2;
+    pair = caml_alloc_tuple(2);
+    Store_field(pair, 0, Val_long(evs[i].data.fd));
+    Store_field(pair, 1, Val_long(flags));
+    Store_field(arr, i, pair);
+  }
+  CAMLreturn(arr);
+}
+
+#else /* !__linux__ */
+
+CAMLprim value repro_epoll_supported(value unit)
+{
+  (void)unit;
+  return Val_false;
+}
+
+CAMLprim value repro_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_long(-38); /* ENOSYS */
+}
+
+CAMLprim value repro_epoll_ctl(value vepfd, value vop, value vfd, value vflags)
+{
+  (void)vepfd; (void)vop; (void)vfd; (void)vflags;
+  return Val_long(-38);
+}
+
+CAMLprim value repro_epoll_wait(value vepfd, value vtimeout_ms)
+{
+  (void)vepfd; (void)vtimeout_ms;
+  return Atom(0);
+}
+
+#endif

@@ -1,0 +1,15 @@
+(** Domains for IO shards.
+
+    {!Pool} owns the compute domains; this is the (equally sanctioned)
+    spawn point for the serve layer's accept/IO shard domains, so that
+    [Domain.spawn] stays confined to [lib/parallel] (lint D004).  Unlike
+    pool workers, an IO shard runs one long-lived loop and is joined
+    exactly once at shutdown. *)
+
+type 'a t
+
+val spawn : (unit -> 'a) -> 'a t
+
+val join : 'a t -> 'a
+(** Wait for the shard body to return and yield its result, re-raising
+    whatever it raised.  Call exactly once per handle. *)

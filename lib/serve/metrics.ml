@@ -18,6 +18,13 @@ type t = {
   mutable store_corrupt : int;
   mutable queue_high_water : int;
   mutable inflight_high_water : int;
+  mutable io_shards : int;
+  by_shard : (string, int) Hashtbl.t;  (* "00".."NN" -> accepted *)
+  mutable admission_admitted : int;
+  mutable admission_rate_limited : int;
+  mutable admission_too_large : int;
+  mutable admission_breaker_rejected : int;
+  mutable admission_breaker_trips : int;
 }
 
 type snapshot = {
@@ -37,6 +44,13 @@ type snapshot = {
   store_corrupt : int;
   queue_high_water : int;
   inflight_high_water : int;
+  io_shards : int;
+  accepted_by_shard : (string * int) list;
+  admission_admitted : int;
+  admission_rate_limited : int;
+  admission_too_large : int;
+  admission_breaker_rejected : int;
+  admission_breaker_trips : int;
 }
 
 let create () =
@@ -57,6 +71,13 @@ let create () =
     store_corrupt = 0;
     queue_high_water = 0;
     inflight_high_water = 0;
+    io_shards = 1;
+    by_shard = Hashtbl.create 8;
+    admission_admitted = 0;
+    admission_rate_limited = 0;
+    admission_too_large = 0;
+    admission_breaker_rejected = 0;
+    admission_breaker_trips = 0;
   }
 
 let bump tbl key =
@@ -84,6 +105,22 @@ let set_store (t : t) ~hits ~misses ~writes ~corrupt =
   t.store_writes <- writes;
   t.store_corrupt <- corrupt
 
+let set_io_shards (t : t) n = t.io_shards <- n
+
+(* Two-digit keys so the sorted snapshot traversal is numeric order up
+   to the practical shard ceiling. *)
+let incr_shard_accept (t : t) ~shard = bump t.by_shard (Printf.sprintf "%02d" shard)
+
+(* As with the store: lib/admission owns the running totals and the
+   server copies them in before every snapshot. *)
+let set_admission (t : t) ~admitted ~rate_limited ~too_large ~breaker_rejected
+    ~breaker_trips =
+  t.admission_admitted <- admitted;
+  t.admission_rate_limited <- rate_limited;
+  t.admission_too_large <- too_large;
+  t.admission_breaker_rejected <- breaker_rejected;
+  t.admission_breaker_trips <- breaker_trips
+
 let observe_queue_depth (t : t) n =
   if n > t.queue_high_water then t.queue_high_water <- n
 
@@ -110,6 +147,13 @@ let snapshot (t : t) =
     store_corrupt = t.store_corrupt;
     queue_high_water = t.queue_high_water;
     inflight_high_water = t.inflight_high_water;
+    io_shards = t.io_shards;
+    accepted_by_shard = Stats.Det.hashtbl_bindings t.by_shard;
+    admission_admitted = t.admission_admitted;
+    admission_rate_limited = t.admission_rate_limited;
+    admission_too_large = t.admission_too_large;
+    admission_breaker_rejected = t.admission_breaker_rejected;
+    admission_breaker_trips = t.admission_breaker_trips;
   }
 
 let render (s : snapshot) =
@@ -132,4 +176,11 @@ let render (s : snapshot) =
   line "store.corrupt" s.store_corrupt;
   line "queue.high_water" s.queue_high_water;
   line "inflight.high_water" s.inflight_high_water;
+  line "io.shards" s.io_shards;
+  List.iter (fun (k, v) -> line ("connections.shard." ^ k) v) s.accepted_by_shard;
+  line "admission.admitted" s.admission_admitted;
+  line "admission.rate_limited" s.admission_rate_limited;
+  line "admission.too_large" s.admission_too_large;
+  line "admission.breaker_rejected" s.admission_breaker_rejected;
+  line "admission.breaker_trips" s.admission_breaker_trips;
   Buffer.contents b

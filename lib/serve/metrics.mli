@@ -7,8 +7,10 @@
     every run and every [--jobs] value.  (Latency numbers live in
     [bench/], where wall-clock reads are sanctioned.)
 
-    The server mutates a [t] from its single IO thread only; snapshots
-    are plain immutable records carried over the [stats] RPC. *)
+    The structure itself is not synchronized: the server mutates a [t]
+    only under its core lock (shards and pool completions all funnel
+    through it); snapshots are plain immutable records carried over the
+    [stats] RPC. *)
 
 type t
 
@@ -31,6 +33,14 @@ type snapshot = {
   store_corrupt : int;  (** entries quarantined as invalid *)
   queue_high_water : int;  (** deepest the bounded request queue has been *)
   inflight_high_water : int;  (** most pool tasks outstanding at once *)
+  io_shards : int;  (** accept/IO domains this server runs *)
+  accepted_by_shard : (string * int) list;
+      (** two-digit shard id -> connections assigned, sorted *)
+  admission_admitted : int;  (** heavy requests past every admission gate *)
+  admission_rate_limited : int;  (** refused: peer token bucket empty *)
+  admission_too_large : int;  (** refused: request over the size budget *)
+  admission_breaker_rejected : int;  (** refused: peer circuit breaker open *)
+  admission_breaker_trips : int;  (** times any peer breaker opened *)
 }
 
 val create : unit -> t
@@ -49,6 +59,21 @@ val set_store : t -> hits:int -> misses:int -> writes:int -> corrupt:int -> unit
 (** Copy the persistent store's counters into the metrics (all zero when
     no store is attached).  Called before each snapshot; the store owns
     the running totals. *)
+
+val set_io_shards : t -> int -> unit
+val incr_shard_accept : t -> shard:int -> unit
+
+val set_admission :
+  t ->
+  admitted:int ->
+  rate_limited:int ->
+  too_large:int ->
+  breaker_rejected:int ->
+  breaker_trips:int ->
+  unit
+(** Copy the admission layer's counters in (all zero when admission is
+    off).  Called before each snapshot; [lib/admission] owns the running
+    totals. *)
 
 val observe_queue_depth : t -> int -> unit
 val observe_inflight : t -> int -> unit

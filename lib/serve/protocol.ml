@@ -13,7 +13,15 @@ type request =
   | Health
   | Shutdown
 
-type error_code = Overloaded | Timeout | Busy | Bad_request | Unknown_workload | Failed
+type error_code =
+  | Overloaded
+  | Timeout
+  | Busy
+  | Bad_request
+  | Unknown_workload
+  | Failed
+  | Rate_limited
+  | Too_large
 
 type response =
   | Report of string
@@ -52,6 +60,8 @@ let error_code_to_string = function
   | Bad_request -> "bad_request"
   | Unknown_workload -> "unknown_workload"
   | Failed -> "failed"
+  | Rate_limited -> "rate_limited"
+  | Too_large -> "too_large"
 
 let error_code_tag = function
   | Overloaded -> 0
@@ -60,6 +70,8 @@ let error_code_tag = function
   | Bad_request -> 3
   | Unknown_workload -> 4
   | Failed -> 5
+  | Rate_limited -> 6
+  | Too_large -> 7
 
 let error_code_of_tag = function
   | 0 -> Overloaded
@@ -68,6 +80,8 @@ let error_code_of_tag = function
   | 3 -> Bad_request
   | 4 -> Unknown_workload
   | 5 -> Failed
+  | 6 -> Rate_limited
+  | 7 -> Too_large
   | t -> raise (Wire.Decode_error (Printf.sprintf "bad error code tag %d" t))
 
 (* ----------------------------- samples ------------------------------ *)
@@ -186,7 +200,14 @@ let enc_snapshot e (s : Metrics.snapshot) =
   Wire.Enc.int e s.Metrics.store_writes;
   Wire.Enc.int e s.Metrics.store_corrupt;
   Wire.Enc.int e s.Metrics.queue_high_water;
-  Wire.Enc.int e s.Metrics.inflight_high_water
+  Wire.Enc.int e s.Metrics.inflight_high_water;
+  Wire.Enc.int e s.Metrics.io_shards;
+  Wire.Enc.list e pair s.Metrics.accepted_by_shard;
+  Wire.Enc.int e s.Metrics.admission_admitted;
+  Wire.Enc.int e s.Metrics.admission_rate_limited;
+  Wire.Enc.int e s.Metrics.admission_too_large;
+  Wire.Enc.int e s.Metrics.admission_breaker_rejected;
+  Wire.Enc.int e s.Metrics.admission_breaker_trips
 
 let dec_snapshot d =
   let pair d =
@@ -210,6 +231,13 @@ let dec_snapshot d =
   let store_corrupt = Wire.Dec.int d in
   let queue_high_water = Wire.Dec.int d in
   let inflight_high_water = Wire.Dec.int d in
+  let io_shards = Wire.Dec.int d in
+  let accepted_by_shard = Wire.Dec.list d pair in
+  let admission_admitted = Wire.Dec.int d in
+  let admission_rate_limited = Wire.Dec.int d in
+  let admission_too_large = Wire.Dec.int d in
+  let admission_breaker_rejected = Wire.Dec.int d in
+  let admission_breaker_trips = Wire.Dec.int d in
   {
     Metrics.connections_accepted;
     connections_active;
@@ -227,6 +255,13 @@ let dec_snapshot d =
     store_corrupt;
     queue_high_water;
     inflight_high_water;
+    io_shards;
+    accepted_by_shard;
+    admission_admitted;
+    admission_rate_limited;
+    admission_too_large;
+    admission_breaker_rejected;
+    admission_breaker_trips;
   }
 
 let enc_curve e (c : Rtree.Cv.curve) =

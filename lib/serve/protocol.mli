@@ -31,6 +31,8 @@ type error_code =
   | Bad_request  (** frame or payload did not parse *)
   | Unknown_workload
   | Failed  (** the work itself raised *)
+  | Rate_limited  (** admission: the peer's token bucket is empty *)
+  | Too_large  (** admission: request over the size budget *)
 
 type response =
   | Report of string

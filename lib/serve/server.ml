@@ -7,11 +7,18 @@ type config = {
   max_connections : int;
   request_timeout : float option;
   max_payload : int;
+  io_shards : int;
+  backlog : int;
+  evloop : Evloop.backend option;
+      (* None = best available (epoll on Linux, else select) *)
+  admission : Admission.config;
   store_counters : unit -> (int * int * int * int) option;
       (* (hits, misses, writes, corrupt) of the attached persistent
          store, or None when serving without one.  A callback so serve
          stays independent of lib/store; polled before each snapshot. *)
 }
+
+let default_backlog = 128
 
 let config_of_analysis analysis =
   {
@@ -21,6 +28,10 @@ let config_of_analysis analysis =
     max_connections = 32;
     request_timeout = None;
     max_payload = Wire.default_max_payload;
+    io_shards = 1;
+    backlog = default_backlog;
+    evloop = None;
+    admission = Admission.off;
     store_counters = (fun () -> None);
   }
 
@@ -39,6 +50,23 @@ type pending = {
   mutable cancelled : bool;
 }
 
+(* One accept/IO domain.  A shard owns its sessions and its evloop
+   outright; everything cross-shard arrives through [inbox]. *)
+type shard = {
+  idx : int;
+  ev : Evloop.t;
+  sessions : (int, Session.t) Hashtbl.t;
+  inbox : message Queue.t;
+  inbox_mutex : Mutex.t;
+}
+
+and message =
+  | Accepted of { id : int; fd : Unix.file_descr; peer : string }
+  | Deliver of { conn : int; seq : int; frame : string; code : string option }
+      (* a routed heavy-request response; [code] is the error code for
+         the metrics count (None = ok), applied only if the subscriber
+         is still connected *)
+
 let write_all fd s =
   let len = String.length s in
   let rec go off remaining =
@@ -52,96 +80,178 @@ let write_all fd s =
 let close_quietly fd =
   try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
 
-let listen_socket address =
-  match address with
-  | Unix_socket path ->
-      (match Unix.lstat path with
-      | { Unix.st_kind = Unix.S_SOCK; _ } ->
-          (* A previous server died without cleaning up; the bind below
-             would fail on the stale node. *)
-          Unix.unlink path
-      | _ -> ()
-      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
-      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.bind fd (Unix.ADDR_UNIX path);
-      Unix.listen fd 64;
-      fd
-  | Tcp port ->
-      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.setsockopt fd Unix.SO_REUSEADDR true;
-      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-      Unix.listen fd 64;
-      fd
+let listen_socket address ~backlog =
+  let fd =
+    match address with
+    | Unix_socket path ->
+        (match Unix.lstat path with
+        | { Unix.st_kind = Unix.S_SOCK; _ } ->
+            (* A previous server died without cleaning up; the bind below
+               would fail on the stale node. *)
+            Unix.unlink path
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd backlog;
+        fd
+    | Tcp port ->
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen fd backlog;
+        fd
+  in
+  (* Non-blocking so the accept shard can drain the whole backlog per
+     readiness event and stop cleanly on EAGAIN. *)
+  Unix.set_nonblock fd;
+  fd
 
 let run ?(on_event = fun _ -> ()) cfg address =
   let metrics = Metrics.create () in
+  let nshards = max 1 cfg.io_shards in
+  Metrics.set_io_shards metrics nshards;
+  let backend =
+    match cfg.evloop with Some b -> b | None -> Evloop.best ()
+  in
+  let admission = Admission.create cfg.admission in
   let sync_store_counters () =
     match cfg.store_counters () with
     | Some (hits, misses, writes, corrupt) ->
         Metrics.set_store metrics ~hits ~misses ~writes ~corrupt
     | None -> ()
   in
+  let sync_admission_counters () =
+    let c = Admission.counters admission in
+    Metrics.set_admission metrics ~admitted:c.Admission.admitted
+      ~rate_limited:c.Admission.rate_limited ~too_large:c.Admission.too_large
+      ~breaker_rejected:c.Admission.breaker_rejected
+      ~breaker_trips:c.Admission.breaker_trips
+  in
   let pool = Fuzzy.Analysis.pool cfg.analysis in
   let max_inflight = Parallel.Pool.jobs pool in
-  let sessions : (int, Session.t) Hashtbl.t = Hashtbl.create 16 in
+
+  (* ---- state shared across shards, guarded by [core] -------------- *)
+  (* Lock order: core may be held while posting to an inbox or waking an
+     evloop, never the other way around.  Pool.submit is never called
+     with core held: at jobs=1 the task runs inline in submit, and the
+     task body itself needs core. *)
+  let core = Mutex.create () in
+  let locked f =
+    Mutex.lock core;
+    match f () with
+    | v ->
+        Mutex.unlock core;
+        v
+    | exception e ->
+        Mutex.unlock core;
+        raise e
+  in
   let by_key : (string, pending) Hashtbl.t = Hashtbl.create 16 in
   let waiting : pending Queue.t = Queue.create () in
   let waiting_count = ref 0 in
   let inflight = ref 0 in
-  let draining = ref false in
-  let next_conn_id = ref 0 in
-  (* Pool workers finish here; the IO thread drains after a wake byte. *)
+  let active = ref 0 in
+  (* peer -> live connections with that identity; the admission state for
+     a peer is forgotten when its last connection closes. *)
+  let peer_refs : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let draining = Atomic.make false in
+  (* Pool workers finish here; any shard may drain and route. *)
   let completions : (string * Protocol.response) Queue.t = Queue.create () in
   let completions_mutex = Mutex.create () in
-  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
-  let wake () =
-    try ignore (Unix.write_substring wake_w "x" 0 1)
-    with Unix.Unix_error (_, _, _) -> ()
+
+  let shards =
+    Array.init nshards (fun idx ->
+        {
+          idx;
+          ev = Evloop.create backend;
+          sessions = Hashtbl.create 16;
+          inbox = Queue.create ();
+          inbox_mutex = Mutex.create ();
+        })
   in
-  let stop_signal _ = draining := true in
+  let shard_of_conn id =
+    if nshards = 1 then 0 else id * 0x9E3779B1 land max_int mod nshards
+  in
+  let post sh msg =
+    Mutex.lock sh.inbox_mutex;
+    Queue.push msg sh.inbox;
+    Mutex.unlock sh.inbox_mutex;
+    Evloop.wake sh.ev
+  in
+  let wake_all () = Array.iter (fun sh -> Evloop.wake sh.ev) shards in
+
+  let stop_signal _ = Atomic.set draining true in
   let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle stop_signal) in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop_signal) in
-  let listen_fd = listen_socket address in
+  let listen_fd = listen_socket address ~backlog:cfg.backlog in
   on_event
-    (Printf.sprintf "listening on %s (jobs=%d, queue=%d, max-conns=%d)"
-       (describe_address address) cfg.analysis.Fuzzy.Analysis.jobs
-       cfg.queue_capacity cfg.max_connections);
+    (Printf.sprintf
+       "listening on %s (jobs=%d, io-shards=%d, evloop=%s, queue=%d, max-conns=%d)"
+       (describe_address address) cfg.analysis.Fuzzy.Analysis.jobs nshards
+       (Evloop.backend_name backend) cfg.queue_capacity cfg.max_connections);
 
-  let sorted_sessions () =
-    List.map snd (Stats.Det.hashtbl_bindings sessions)
+  let sorted_sessions sh =
+    List.map snd (Stats.Det.hashtbl_bindings sh.sessions)
   in
-  let drop_session sess =
-    Hashtbl.remove sessions (Session.id sess);
+  (* Called only from [sh]'s own thread. *)
+  let drop_session sh sess =
+    Hashtbl.remove sh.sessions (Session.id sess);
+    Evloop.remove sh.ev (Session.fd sess);
     close_quietly (Session.fd sess);
-    Metrics.set_active metrics (Hashtbl.length sessions)
+    locked (fun () ->
+        decr active;
+        Metrics.set_active metrics !active;
+        let peer = Session.peer sess in
+        match Hashtbl.find_opt peer_refs peer with
+        | None -> ()
+        | Some 1 ->
+            Hashtbl.remove peer_refs peer;
+            Admission.forget admission ~peer
+        | Some n -> Hashtbl.replace peer_refs peer (n - 1))
   in
-  let count_response resp =
-    match resp with
-    | Protocol.Error { code; _ } ->
-        Metrics.incr_error metrics ~code:(Protocol.error_code_to_string code)
+  let code_of = function
+    | Protocol.Error { code; _ } -> Some (Protocol.error_code_to_string code)
     | Protocol.Report _ | Protocol.Quadrant_verdict _ | Protocol.Curve _
     | Protocol.Verdicts _ | Protocol.Ingest_ack _ | Protocol.Ingest_final _
     | Protocol.Stats_snapshot _ | Protocol.Health_ok _ | Protocol.Shutdown_ack
       ->
-        Metrics.incr_ok metrics
+        None
   in
+  let count_code = function
+    | None -> Metrics.incr_ok metrics
+    | Some code -> Metrics.incr_error metrics ~code
+  in
+  (* Inline (non-pooled) response on the owning shard's thread. *)
   let respond sess seq resp =
-    count_response resp;
+    locked (fun () -> count_code (code_of resp));
     Session.put_response sess ~seq (Wire.encode (Protocol.encode_response resp))
   in
-  (* Deliver one finished pending to every subscriber still connected.
-     The response is encoded once; subscribers share the frame bytes. *)
-  let deliver p resp =
-    Hashtbl.remove by_key p.key;
+  (* Land one routed heavy-request response on [sh]'s own session table.
+     Any delivery — including Failed — is a backend outcome for the
+     breaker; only Timeout counts as shed. *)
+  let apply_delivery sh ~conn ~seq ~frame ~code =
+    match Hashtbl.find_opt sh.sessions conn with
+    | None -> ()  (* subscriber hung up while the work ran *)
+    | Some sess ->
+        locked (fun () ->
+            count_code code;
+            Admission.record admission ~peer:(Session.peer sess)
+              ~shed:(code = Some "timeout"));
+        Session.put_response sess ~seq frame
+  in
+  (* Fan one finished pending out to every subscriber: same-shard ones
+     directly, the rest via their owner's inbox.  The response is encoded
+     once; subscribers share the frame bytes. *)
+  let route ~from p resp =
     let frame = Wire.encode (Protocol.encode_response resp) in
+    let code = code_of resp in
     List.iter
-      (fun (conn_id, seq) ->
-        match Hashtbl.find_opt sessions conn_id with
-        | None -> ()  (* subscriber hung up while the work ran *)
-        | Some sess ->
-            count_response resp;
-            Session.put_response sess ~seq frame)
+      (fun (conn, seq) ->
+        let owner = shards.(shard_of_conn conn) in
+        if owner.idx = from.idx then apply_delivery owner ~conn ~seq ~frame ~code
+        else post owner (Deliver { conn; seq; frame; code }))
       (List.rev p.subscribers)
   in
   let work_for req name () =
@@ -170,7 +280,7 @@ let run ?(on_event = fun _ -> ()) cfg address =
         (* Never queued: these are handled inline at parse time. *)
         Protocol.Error { code = Protocol.Failed; message = "not a pooled request" }
   in
-  let enqueue_heavy sess seq req name =
+  let enqueue_heavy sess seq req name ~nbytes =
     match Workload.Catalog.find name with
     | exception Not_found ->
         respond sess seq
@@ -180,50 +290,98 @@ let run ?(on_event = fun _ -> ()) cfg address =
                message = Printf.sprintf "unknown workload %S" name;
              })
     | _entry -> (
-        if !draining then
+        if Atomic.get draining then
           respond sess seq
             (Protocol.Error
                { code = Protocol.Overloaded; message = "server is draining" })
         else
-          let key = Protocol.encode_request req in
-          match Hashtbl.find_opt by_key key with
-          | Some p ->
-              (* Identical request already queued or running: batch. *)
-              Metrics.incr_batch_joined metrics;
-              p.subscribers <- (Session.id sess, seq) :: p.subscribers
-          | None ->
-              if !waiting_count >= cfg.queue_capacity then
-                respond sess seq
-                  (Protocol.Error
-                     {
-                       code = Protocol.Overloaded;
-                       message =
-                         Printf.sprintf "request queue is full (capacity %d)"
-                           cfg.queue_capacity;
-                     })
-              else begin
-                if Fuzzy.Experiments.cached cfg.analysis name then
-                  Metrics.incr_cache_hit metrics
-                else Metrics.incr_cache_miss metrics;
-                let deadline =
-                  Option.map (fun s -> Clock.now () +. s) cfg.request_timeout
-                in
-                let p =
-                  {
-                    key;
-                    work = work_for req name;
-                    subscribers = [ (Session.id sess, seq) ];
-                    deadline;
-                    cancelled = false;
-                  }
-                in
-                Hashtbl.replace by_key key p;
-                Queue.push p waiting;
-                incr waiting_count;
-                Metrics.observe_queue_depth metrics !waiting_count
-              end)
+          let peer = Session.peer sess in
+          (* Admission runs before the batching join: a batched arrival
+             still spends a token, so the admit/reject sequence is a pure
+             function of the peer's own trace. *)
+          let decision =
+            locked (fun () -> Admission.check admission ~peer ~bytes:nbytes)
+          in
+          match decision with
+          | Admission.Reject_too_large ->
+              respond sess seq
+                (Protocol.Error
+                   {
+                     code = Protocol.Too_large;
+                     message =
+                       Printf.sprintf
+                         "request of %d bytes exceeds the admission budget"
+                         nbytes;
+                   })
+          | Admission.Reject_rate_limited ->
+              respond sess seq
+                (Protocol.Error
+                   {
+                     code = Protocol.Rate_limited;
+                     message = "rate limit exceeded for this peer";
+                   })
+          | Admission.Reject_breaker_open ->
+              respond sess seq
+                (Protocol.Error
+                   {
+                     code = Protocol.Overloaded;
+                     message = "circuit breaker open for this peer";
+                   })
+          | Admission.Admit -> (
+              let key = Protocol.encode_request req in
+              let verdict =
+                locked (fun () ->
+                    match Hashtbl.find_opt by_key key with
+                    | Some p ->
+                        (* Identical request already queued or running:
+                           batch. *)
+                        Metrics.incr_batch_joined metrics;
+                        p.subscribers <- (Session.id sess, seq) :: p.subscribers;
+                        `Joined
+                    | None ->
+                        if !waiting_count >= cfg.queue_capacity then begin
+                          (* A shed outcome the breaker must see. *)
+                          Admission.record admission ~peer ~shed:true;
+                          `Queue_full
+                        end
+                        else begin
+                          if Fuzzy.Experiments.cached cfg.analysis name then
+                            Metrics.incr_cache_hit metrics
+                          else Metrics.incr_cache_miss metrics;
+                          let deadline =
+                            Option.map
+                              (fun s -> Clock.now () +. s)
+                              cfg.request_timeout
+                          in
+                          let p =
+                            {
+                              key;
+                              work = work_for req name;
+                              subscribers = [ (Session.id sess, seq) ];
+                              deadline;
+                              cancelled = false;
+                            }
+                          in
+                          Hashtbl.replace by_key key p;
+                          Queue.push p waiting;
+                          incr waiting_count;
+                          Metrics.observe_queue_depth metrics !waiting_count;
+                          `Queued
+                        end)
+              in
+              match verdict with
+              | `Joined | `Queued -> ()
+              | `Queue_full ->
+                  respond sess seq
+                    (Protocol.Error
+                       {
+                         code = Protocol.Overloaded;
+                         message =
+                           Printf.sprintf "request queue is full (capacity %d)"
+                             cfg.queue_capacity;
+                       })))
   in
-  let dispatch sess seq req =
+  let dispatch sess seq req ~nbytes =
     match req with
     | Protocol.Health ->
         respond sess seq
@@ -234,13 +392,19 @@ let run ?(on_event = fun _ -> ()) cfg address =
                workloads = Array.length Workload.Catalog.all;
              })
     | Protocol.Stats ->
-        sync_store_counters ();
-        respond sess seq (Protocol.Stats_snapshot (Metrics.snapshot metrics))
+        let snap =
+          locked (fun () ->
+              sync_store_counters ();
+              sync_admission_counters ();
+              Metrics.snapshot metrics)
+        in
+        respond sess seq (Protocol.Stats_snapshot snap)
     | Protocol.Shutdown ->
-        draining := true;
+        Atomic.set draining true;
         on_event "shutdown requested; draining";
         respond sess seq Protocol.Shutdown_ack;
-        Session.mark_close sess
+        Session.mark_close sess;
+        wake_all ()
     | Protocol.Ingest_open name -> (
         match Session.pipeline sess with
         | Some _ ->
@@ -294,17 +458,18 @@ let run ?(on_event = fun _ -> ()) cfg address =
                   (Protocol.Error { code = Protocol.Failed; message = m })))
     | Protocol.Analyze name | Protocol.Quadrant name | Protocol.Re_curve name
       ->
-        enqueue_heavy sess seq req name
+        enqueue_heavy sess seq req name ~nbytes
   in
   (* The exception boundary of the inline request path: anything the
      analysis layers throw for bad input (Ingest_feed has no other net
      under it) becomes a typed protocol Error instead of unwinding through
      the IO loop and killing the connection.  The deep linter (G003) checks
      that every handler-reachable raise is caught here or earlier. *)
-  let handle sess req =
+  let handle sess req ~nbytes =
     let seq = Session.alloc_seq sess in
-    Metrics.incr_request metrics ~kind:(Protocol.request_kind req);
-    match dispatch sess seq req with
+    locked (fun () ->
+        Metrics.incr_request metrics ~kind:(Protocol.request_kind req));
+    match dispatch sess seq req ~nbytes with
     | () -> ()
     | exception Failure m ->
         respond sess seq (Protocol.Error { code = Protocol.Failed; message = m })
@@ -328,7 +493,7 @@ let run ?(on_event = fun _ -> ()) cfg address =
       | Ok None -> ()
       | Ok (Some payload) ->
           (match Protocol.decode_request payload with
-          | Ok req -> handle sess req
+          | Ok req -> handle sess req ~nbytes:(String.length payload)
           | Error m ->
               let seq = Session.alloc_seq sess in
               respond sess seq
@@ -343,94 +508,160 @@ let run ?(on_event = fun _ -> ()) cfg address =
                { code = Protocol.Bad_request; message = Wire.error_to_string e });
           Session.mark_close sess
   in
-  let read_session sess =
+  let read_session sh sess =
     let buf = Bytes.create 65536 in
     match Unix.read (Session.fd sess) buf 0 (Bytes.length buf) with
     | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
       ->
         ()
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-        drop_session sess
+        drop_session sh sess
     | 0 ->
         (* Peer finished sending; flush anything still owed, then close. *)
         if Session.has_pending sess then Session.mark_close sess
-        else drop_session sess
+        else drop_session sh sess
     | n ->
         Session.feed sess buf n;
         drain_frames sess
   in
-  let accept_connection () =
-    match Unix.accept ~cloexec:true listen_fd with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | fd, _addr ->
-        if !draining || Hashtbl.length sessions >= cfg.max_connections then begin
-          Metrics.incr_refused metrics;
-          let message =
-            if !draining then "server is draining"
-            else
-              Printf.sprintf "connection limit reached (max %d)"
-                cfg.max_connections
-          in
-          let frame =
-            Wire.encode
-              (Protocol.encode_response
-                 (Protocol.Error { code = Protocol.Busy; message }))
-          in
-          (try write_all fd frame with Unix.Unix_error (_, _, _) -> ());
-          close_quietly fd
-        end
-        else begin
-          Metrics.incr_accepted metrics;
-          (* Non-blocking: a client that stops reading must never stall
-             the IO thread — flush_session writes only what the socket
-             accepts and select waits for writability. *)
-          Unix.set_nonblock fd;
-          let id = !next_conn_id in
-          incr next_conn_id;
-          Hashtbl.replace sessions id (Session.create ~id fd);
-          Metrics.set_active metrics (Hashtbl.length sessions)
-        end
+  let next_conn_id = ref 0 in
+  (* Only from [sh]'s own thread: shard 0 for its own connections, the
+     others when an [Accepted] message arrives. *)
+  let add_session sh id fd peer =
+    let sess = Session.create ~id ~peer fd in
+    Hashtbl.replace sh.sessions id sess;
+    Evloop.add sh.ev fd ~read:true ~write:false
   in
-  let drain_wake () =
-    let buf = Bytes.create 256 in
-    match Unix.read wake_r buf 0 (Bytes.length buf) with
-    | _ -> ()
-    | exception Unix.Unix_error (_, _, _) -> ()
+  (* Shard 0 only.  One readiness event may announce many queued
+     connections: drain the whole accept backlog until EAGAIN. *)
+  let accept_loop () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept ~cloexec:true listen_fd with
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+          ()
+      | fd, addr ->
+          let refused =
+            locked (fun () ->
+                if Atomic.get draining || !active >= cfg.max_connections then begin
+                  Metrics.incr_refused metrics;
+                  true
+                end
+                else begin
+                  incr active;
+                  Metrics.incr_accepted metrics;
+                  Metrics.set_active metrics !active;
+                  false
+                end)
+          in
+          if refused then begin
+            let message =
+              if Atomic.get draining then "server is draining"
+              else
+                Printf.sprintf "connection limit reached (max %d)"
+                  cfg.max_connections
+            in
+            let frame =
+              Wire.encode
+                (Protocol.encode_response
+                   (Protocol.Error { code = Protocol.Busy; message }))
+            in
+            (try write_all fd frame with Unix.Unix_error (_, _, _) -> ());
+            close_quietly fd
+          end
+          else begin
+            (* Non-blocking: a client that stops reading must never stall
+               a shard — flush_session writes only what the socket
+               accepts and the evloop waits for writability. *)
+            Unix.set_nonblock fd;
+            let id = !next_conn_id in
+            incr next_conn_id;
+            (* TCP peers share an admission identity per address, so one
+               host cannot widen its budget by opening connections; local
+               Unix-socket peers are indistinguishable and get a
+               per-connection identity instead. *)
+            let peer =
+              match addr with
+              | Unix.ADDR_INET (ip, _) -> Unix.string_of_inet_addr ip
+              | Unix.ADDR_UNIX _ -> Printf.sprintf "conn:%d" id
+            in
+            let sh = shards.(shard_of_conn id) in
+            locked (fun () ->
+                Hashtbl.replace peer_refs peer
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt peer_refs peer));
+                Metrics.incr_shard_accept metrics ~shard:sh.idx);
+            if sh.idx = 0 then add_session sh id fd peer
+            else post sh (Accepted { id; fd; peer })
+          end
+    done
   in
-  let drain_completions () =
+  let process_inbox sh =
+    Mutex.lock sh.inbox_mutex;
+    let msgs = Queue.fold (fun acc m -> m :: acc) [] sh.inbox in
+    Queue.clear sh.inbox;
+    Mutex.unlock sh.inbox_mutex;
+    List.iter
+      (function
+        | Accepted { id; fd; peer } -> add_session sh id fd peer
+        | Deliver { conn; seq; frame; code } ->
+            apply_delivery sh ~conn ~seq ~frame ~code)
+      (List.rev msgs)
+  in
+  (* [inflight] is decremented only after the result's deliveries are
+     posted, so "no inflight and empty queues" really means "nothing can
+     still arrive" — the shards' exit condition relies on that. *)
+  let drain_completions sh =
     Mutex.lock completions_mutex;
     let finished = Queue.fold (fun acc item -> item :: acc) [] completions in
     Queue.clear completions;
     Mutex.unlock completions_mutex;
     List.iter
       (fun (key, resp) ->
-        decr inflight;
-        match Hashtbl.find_opt by_key key with
-        | None -> ()
-        | Some p -> deliver p resp)
+        let p =
+          locked (fun () ->
+              match Hashtbl.find_opt by_key key with
+              | None -> None
+              | Some p ->
+                  Hashtbl.remove by_key key;
+                  Some p)
+        in
+        (match p with None -> () | Some p -> route ~from:sh p resp);
+        locked (fun () -> decr inflight))
       (List.rev finished)
   in
-  (* Expiry runs before submission, so a request either times out while
-     waiting or runs to completion — for [--timeout 0] that makes the
-     Timeout answer deterministic at every jobs value. *)
-  let expire_waiting () =
-    Queue.iter
+  (* Expiry runs before submission (shard 0 owns both for the waiting
+     queue's head), so a request either times out while waiting or runs
+     to completion — for [--timeout 0] that makes the Timeout answer
+     deterministic at every jobs value. *)
+  let expire_waiting sh =
+    let expired =
+      locked (fun () ->
+          let acc = ref [] in
+          Queue.iter
+            (fun p ->
+              if (not p.cancelled) && Clock.expired ~deadline:p.deadline then begin
+                p.cancelled <- true;
+                decr waiting_count;
+                Hashtbl.remove by_key p.key;
+                acc := p :: !acc
+              end)
+            waiting;
+          List.rev !acc)
+    in
+    List.iter
       (fun p ->
-        if (not p.cancelled) && Clock.expired ~deadline:p.deadline then begin
-          p.cancelled <- true;
-          decr waiting_count;
-          deliver p
-            (Protocol.Error
-               {
-                 code = Protocol.Timeout;
-                 message = "deadline exceeded while queued";
-               })
-        end)
-      waiting
+        route ~from:sh p
+          (Protocol.Error
+             {
+               code = Protocol.Timeout;
+               message = "deadline exceeded while queued";
+             }))
+      expired
   in
   let submit p =
-    incr inflight;
-    Metrics.observe_inflight metrics !inflight;
     ignore
       (Parallel.Pool.submit pool (fun () ->
            let resp =
@@ -453,28 +684,42 @@ let run ?(on_event = fun _ -> ()) cfg address =
            Mutex.lock completions_mutex;
            Queue.push (p.key, resp) completions;
            Mutex.unlock completions_mutex;
-           wake ()))
+           wake_all ()))
   in
   let submit_ready () =
-    while !inflight < max_inflight && not (Queue.is_empty waiting) do
-      let p = Queue.pop waiting in
-      (* A cancelled entry was already answered with Timeout. *)
-      if not p.cancelled then begin
-        decr waiting_count;
-        submit p
-      end
-    done
+    (* Collect under the lock, submit outside it: at jobs=1 the pool runs
+       the task inline inside [submit], and the task needs [core]. *)
+    let ready =
+      locked (fun () ->
+          let acc = ref [] in
+          let continue = ref true in
+          while !continue do
+            if !inflight < max_inflight && not (Queue.is_empty waiting) then begin
+              let p = Queue.pop waiting in
+              (* A cancelled entry was already answered with Timeout. *)
+              if not p.cancelled then begin
+                decr waiting_count;
+                incr inflight;
+                Metrics.observe_inflight metrics !inflight;
+                acc := p :: !acc
+              end
+            end
+            else continue := false
+          done;
+          List.rev !acc)
+    in
+    List.iter submit ready
   in
   (* Write as much owed output as the (non-blocking) socket accepts.
-     A short or refused write leaves the session in select's write set;
-     the loop resumes exactly where it stopped, so one stalled client
-     never blocks the other connections. *)
-  let flush_session sess =
+     A short or refused write leaves the session with write interest in
+     the evloop; the loop resumes exactly where it stopped, so one
+     stalled client never blocks the other connections. *)
+  let flush_session sh sess =
     let rec go () =
       match Session.next_write sess with
       | None ->
           if Session.closing sess && not (Session.has_pending sess) then
-            drop_session sess
+            drop_session sh sess
       | Some (frame, off) -> (
           match
             Unix.write_substring (Session.fd sess) frame off
@@ -485,54 +730,69 @@ let run ?(on_event = fun _ -> ()) cfg address =
               go ()
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-              ()  (* socket full; select will report writability *)
+              ()  (* socket full; the evloop will report writability *)
           | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-              drop_session sess)
+              drop_session sh sess)
     in
     go ()
   in
-  let drained () =
-    !draining && !waiting_count = 0 && !inflight = 0
-    && List.for_all (fun s -> not (Session.has_pending s)) (sorted_sessions ())
+  let queue_empty q m =
+    Mutex.lock m;
+    let e = Queue.is_empty q in
+    Mutex.unlock m;
+    e
+  in
+  (* A shard may stop once nothing global is in flight and it owes its
+     own sessions nothing.  Other shards may still be flushing theirs. *)
+  let shard_done sh =
+    Atomic.get draining
+    && locked (fun () -> !waiting_count = 0 && !inflight = 0)
+    && queue_empty completions completions_mutex
+    && queue_empty sh.inbox sh.inbox_mutex
+    && List.for_all (fun s -> not (Session.has_pending s)) (sorted_sessions sh)
   in
   let announced_drain = ref false in
-  let rec loop () =
-    if !draining && not !announced_drain then begin
+  let rec shard_loop sh =
+    if sh.idx = 0 && Atomic.get draining && not !announced_drain then begin
       announced_drain := true;
       on_event "draining: refusing new work, finishing in-flight requests"
     end;
-    if drained () then ()
+    if shard_done sh then ()
     else begin
-      let session_fds = List.map Session.fd (sorted_sessions ()) in
-      let watched = (wake_r :: listen_fd :: session_fds : Unix.file_descr list) in
-      let want_write =
-        List.filter_map
-          (fun s -> if Session.has_output s then Some (Session.fd s) else None)
-          (sorted_sessions ())
-      in
-      let readable =
-        match Unix.select watched want_write [] 0.1 with
-        | r, _, _ -> r
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
-      in
-      if List.memq wake_r readable then drain_wake ();
-      if List.memq listen_fd readable then accept_connection ();
       List.iter
-        (fun sess -> if List.memq (Session.fd sess) readable then read_session sess)
-        (sorted_sessions ());
-      drain_completions ();
-      expire_waiting ();
+        (fun s ->
+          Evloop.modify sh.ev (Session.fd s) ~read:true
+            ~write:(Session.has_output s))
+        (sorted_sessions sh);
+      Evloop.wait sh.ev ~timeout_ms:100;
+      if sh.idx = 0 && Evloop.readable sh.ev listen_fd then accept_loop ();
+      process_inbox sh;
+      List.iter
+        (fun sess ->
+          if Evloop.readable sh.ev (Session.fd sess) then read_session sh sess)
+        (sorted_sessions sh);
+      drain_completions sh;
+      if sh.idx = 0 then expire_waiting sh;
       submit_ready ();
-      List.iter flush_session (sorted_sessions ());
-      loop ()
+      List.iter (fun sess -> flush_session sh sess) (sorted_sessions sh);
+      shard_loop sh
     end
   in
-  loop ();
+  let finish_shard sh =
+    List.iter (fun sess -> drop_session sh sess) (sorted_sessions sh);
+    Evloop.close sh.ev
+  in
+  Evloop.add shards.(0).ev listen_fd ~read:true ~write:false;
+  let workers =
+    Array.map
+      (fun sh -> Parallel.Io.spawn (fun () -> shard_loop sh; finish_shard sh))
+      (Array.sub shards 1 (nshards - 1))
+  in
+  shard_loop shards.(0);
+  finish_shard shards.(0);
+  Array.iter Parallel.Io.join workers;
   on_event "drained; shutting down";
-  List.iter drop_session (sorted_sessions ());
   close_quietly listen_fd;
-  close_quietly wake_r;
-  close_quietly wake_w;
   (match address with
   | Unix_socket path -> (
       try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
@@ -541,4 +801,5 @@ let run ?(on_event = fun _ -> ()) cfg address =
   Sys.set_signal Sys.sigint old_int;
   Sys.set_signal Sys.sigterm old_term;
   sync_store_counters ();
+  sync_admission_counters ();
   Metrics.snapshot metrics

@@ -1,14 +1,28 @@
-(** The analysis server: a single-threaded [Unix.select] IO loop that
-    accepts framed {!Protocol} requests and fans the heavy ones out onto
-    the shared {!Parallel.Pool}.
+(** The analysis server: [io_shards] accept/IO event loops ({!Evloop}:
+    epoll or select) that parse framed {!Protocol} requests, gate the
+    heavy ones through {!Admission} and fan them out onto the shared
+    {!Parallel.Pool}.
 
-    {b Concurrency shape.}  All socket IO, parsing and bookkeeping happen
-    on one thread; only request {e work} (workload analysis) runs on pool
+    {b Concurrency shape.}  Shard 0 runs on the calling thread and owns
+    the listening socket; shards 1..N-1 are {!Parallel.Io} domains.  A
+    connection is assigned [shard = hash id mod N] at accept time and
+    everything about it — socket IO, frame parsing, its {!Session}
+    ledger — happens only on that shard; cross-shard traffic (accepted
+    connections, routed responses) moves through per-shard mailboxes and
+    evloop wakeups.  Request {e work} (workload analysis) runs on pool
     workers, which hand results back through a mutex-guarded completion
-    queue and a self-wake pipe.  Responses are computed in whatever order
-    the pool finishes them but written strictly in per-connection request
-    order ({!Session}), so a conversation's bytes are a pure function of
-    the requests — bit-identical for every [--jobs] value.
+    queue; shared bookkeeping (queue, batching table, metrics,
+    admission) sits behind one core lock.  Responses are computed in
+    whatever order the pool finishes them but written strictly in
+    per-connection request order ({!Session}), so a conversation's bytes
+    are a pure function of the requests — bit-identical for every
+    [--jobs], every [--io-shards] and both evloop backends.
+
+    {b Admission.}  When configured, heavy requests pass a per-peer
+    token bucket, a request-size budget and a per-peer circuit breaker
+    {e before} touching the queue; refusals are typed
+    ([rate_limited]/[too_large]/[overloaded]).  All admission state
+    advances on request-count ticks, never the clock ({!Admission}).
 
     {b Backpressure.}  Heavy requests wait in a bounded FIFO; when it is
     full the server answers [Error Overloaded] immediately instead of
@@ -37,6 +51,10 @@ type config = {
   max_connections : int;  (** cap; excess connections get [Busy] *)
   request_timeout : float option;  (** max seconds queued, [None] = no limit *)
   max_payload : int;  (** per-frame payload cap in bytes *)
+  io_shards : int;  (** accept/IO domains (clamped to at least 1) *)
+  backlog : int;  (** listen(2) backlog *)
+  evloop : Evloop.backend option;  (** [None] = {!Evloop.best} *)
+  admission : Admission.config;  (** {!Admission.off} disables all gates *)
   store_counters : unit -> (int * int * int * int) option;
       (** (hits, misses, writes, corrupt) of the attached persistent
           result store, or [None] when serving without one.  Polled
@@ -44,10 +62,14 @@ type config = {
           depend on lib/store. *)
 }
 
+val default_backlog : int
+(** 128 — [SOMAXCONN]-ish; the kernel clamps to its own limit anyway. *)
+
 val config_of_analysis : Fuzzy.Analysis.config -> config
 (** Defaults: pipeline from {!Online.Pipeline.default} with the given
     analysis config; queue 64; 32 connections; no timeout;
-    {!Wire.default_max_payload}; no store counters. *)
+    {!Wire.default_max_payload}; one IO shard; {!default_backlog}; best
+    evloop backend; admission off; no store counters. *)
 
 val run : ?on_event:(string -> unit) -> config -> address -> Metrics.snapshot
 (** Bind, listen and serve until drained ([Shutdown] request or

@@ -5,6 +5,7 @@
 type t = {
   id : int;
   fd : Unix.file_descr;
+  peer : string;  (* admission identity: client IP, or "conn:<id>" *)
   mutable inbuf : Bytes.t;
   mutable in_len : int;
   mutable next_seq : int;  (* next sequence number to assign *)
@@ -15,10 +16,11 @@ type t = {
   mutable closing : bool;
 }
 
-let create ~id fd =
+let create ~id ~peer fd =
   {
     id;
     fd;
+    peer;
     inbuf = Bytes.create 4096;
     in_len = 0;
     next_seq = 0;
@@ -31,6 +33,7 @@ let create ~id fd =
 
 let id t = t.id
 let fd t = t.fd
+let peer t = t.peer
 
 let feed t src n =
   let need = t.in_len + n in
@@ -74,7 +77,7 @@ let next_write t =
 
 let advance t n =
   match Hashtbl.find_opt t.ready t.next_out with
-  | None -> invalid_arg "Session.advance: no frame in flight"
+  | None -> ()
   | Some frame ->
       t.out_off <- t.out_off + n;
       if t.out_off >= String.length frame then begin

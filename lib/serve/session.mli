@@ -12,9 +12,14 @@
 
 type t
 
-val create : id:int -> Unix.file_descr -> t
+val create : id:int -> peer:string -> Unix.file_descr -> t
+(** [peer] is the connection's admission identity: the client IP for TCP
+    connections (so one host shares one token bucket), or a per-connection
+    label for Unix-socket peers. *)
+
 val id : t -> int
 val fd : t -> Unix.file_descr
+val peer : t -> string
 
 (** {1 Reading} *)
 
@@ -43,7 +48,9 @@ val next_write : t -> (string * int) option
 val advance : t -> int -> unit
 (** Record that [n] more bytes of the current {!next_write} frame were
     written; once the whole frame is out, move to the next sequence
-    number.  Raises [Invalid_argument] if no frame is in flight. *)
+    number.  A no-op when no frame is in flight — the writer only calls
+    it straight after a [Some] from {!next_write}, and total beats a
+    raise that would have to cross the event loop (G003). *)
 
 val has_pending : t -> bool
 (** Responses still owed (allocated but unwritten sequence numbers). *)

@@ -9,10 +9,12 @@
 
 let magic = "FZRP"
 
-(* v2: Stats_snapshot grew the four store.* counters.  The version lives
-   in every frame header, so a v1 peer rejects v2 frames outright instead
-   of misparsing the longer snapshot. *)
-let version = 2
+(* v2: Stats_snapshot grew the four store.* counters.
+   v3: Stats_snapshot grew the shard and admission counters, and error
+   codes 6 (rate_limited) / 7 (too_large) joined the vocabulary.  The
+   version lives in every frame header, so an old peer rejects newer
+   frames outright instead of misparsing the longer snapshot. *)
+let version = 3
 let header_len = 14
 let default_max_payload = 16 * 1024 * 1024
 

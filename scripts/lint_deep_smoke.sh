@@ -50,7 +50,7 @@ let _defect_sweep pool xs =
 EOF
 
 # --- defect 3: raise escaping the serve request handler --------------
-sed -i.bak 's/^  let handle sess req =$/  let handle sess req =\n    failwith "defect: handler escape";/' \
+sed -i.bak 's/^  let handle sess req ~nbytes =$/  let handle sess req ~nbytes =\n    failwith "defect: handler escape";/' \
   "$SCRATCH/lib/serve/server.ml"
 grep -q 'defect: handler escape' "$SCRATCH/lib/serve/server.ml" \
   || fail "sed injection into server.ml did not take (anchor moved?)"

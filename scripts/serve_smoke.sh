@@ -13,6 +13,10 @@
 # platform has it) and the final server drain is a polled wait, so a
 # wedged server fails the smoke with diagnostics instead of hanging CI
 # until the job-level kill.
+#
+# SERVE_EVLOOP (epoll|select) and SERVE_SHARDS (N) select the evloop
+# backend and IO shard count — the CI matrix runs this smoke under both
+# backends; byte-equality against the offline CLI must hold under all.
 set -eu
 
 EXE=_build/default/bin/repro.exe
@@ -20,6 +24,10 @@ OUT=_build/serve-smoke
 SOCK="${TMPDIR:-/tmp}/repro-smoke-$$.sock"
 STEP_TIMEOUT="${SERVE_SMOKE_TIMEOUT:-120}"   # seconds per client step
 DRAIN_TIMEOUT="${SERVE_SMOKE_DRAIN:-30}"     # seconds for server exit after shutdown
+SHARDS="${SERVE_SHARDS:-1}"
+
+EVLOOP_ARGS=""
+[ -n "${SERVE_EVLOOP:-}" ] && EVLOOP_ARGS="--evloop ${SERVE_EVLOOP}"
 
 [ -x "$EXE" ] || { echo "serve-smoke: $EXE not built (run dune build @all)" >&2; exit 1; }
 mkdir -p "$OUT"
@@ -52,7 +60,9 @@ bounded() {
     fi
 }
 
-"$EXE" serve --quick --socket "$SOCK" --jobs 2 > "$OUT/server.out" 2> "$OUT/server.err" &
+# shellcheck disable=SC2086  # EVLOOP_ARGS is intentionally word-split
+"$EXE" serve --quick --socket "$SOCK" --jobs 2 --io-shards "$SHARDS" $EVLOOP_ARGS \
+    > "$OUT/server.out" 2> "$OUT/server.err" &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
 

@@ -1,0 +1,336 @@
+(* lib/admission determinism tests.
+
+   The module's whole contract is that admission is a pure function of
+   each peer's own request trace — no clocks, no cross-peer coupling —
+   so the properties here replay generated traces and demand identical
+   decision sequences, then pin down the token-bucket refill edges and
+   the breaker's open -> half-open -> close walk by hand. *)
+
+module A = Admission
+
+(* ------------------------------ helpers ----------------------------- *)
+
+let cfg ?(bucket_capacity = 0) ?(refill_every = 1) ?(max_request_bytes = 0)
+    ?(breaker_trip = 0) ?(breaker_probe_after = 1) () =
+  {
+    A.bucket_capacity;
+    refill_every;
+    max_request_bytes;
+    breaker_trip;
+    breaker_probe_after;
+  }
+
+let decision_name = function
+  | A.Admit -> "admit"
+  | A.Reject_rate_limited -> "rate_limited"
+  | A.Reject_too_large -> "too_large"
+  | A.Reject_breaker_open -> "breaker_open"
+
+let decision =
+  Alcotest.testable
+    (fun ppf d -> Format.pp_print_string ppf (decision_name d))
+    ( = )
+
+(* A trace step: a request of [bytes] from [peer], and — if admitted —
+   whether the server sheds it.  [record] is only legal after an admit,
+   which [replay] enforces. *)
+type step = { peer : string; bytes : int; shed_if_admitted : bool option }
+
+let replay config steps =
+  let t = A.create config in
+  (* fold, not map: the steps must hit [t] strictly left to right *)
+  let decisions =
+    List.fold_left
+      (fun acc s ->
+        let d = A.check t ~peer:s.peer ~bytes:s.bytes in
+        (match (d, s.shed_if_admitted) with
+        | A.Admit, Some shed -> A.record t ~peer:s.peer ~shed
+        | _ -> ());
+        d :: acc)
+      [] steps
+    |> List.rev
+  in
+  (decisions, A.counters t)
+
+(* ------------------------------ qcheck ------------------------------ *)
+
+let gen_config =
+  QCheck2.Gen.(
+    map
+      (fun (cap, every, max_b, trip, probe) ->
+        cfg ~bucket_capacity:cap ~refill_every:every ~max_request_bytes:max_b
+          ~breaker_trip:trip ~breaker_probe_after:probe ())
+      (tup5 (int_bound 4) (int_range 1 5) (int_bound 64) (int_bound 3)
+         (int_range 1 6)))
+
+let gen_step =
+  QCheck2.Gen.(
+    map
+      (fun (p, bytes, shed) ->
+        {
+          peer = Printf.sprintf "peer%d" p;
+          bytes;
+          shed_if_admitted = Some shed;
+        })
+      (tup3 (int_bound 2) (int_bound 80) bool))
+
+let gen_trace = QCheck2.Gen.(pair gen_config (list_size (int_bound 60) gen_step))
+
+let print_trace (config, steps) =
+  Printf.sprintf "cap=%d every=%d max=%d trip=%d probe=%d; %s"
+    config.A.bucket_capacity config.A.refill_every config.A.max_request_bytes
+    config.A.breaker_trip config.A.breaker_probe_after
+    (String.concat ","
+       (List.map
+          (fun s ->
+            Printf.sprintf "%s:%d%s" s.peer s.bytes
+              (match s.shed_if_admitted with
+              | Some true -> "!"
+              | Some false -> ""
+              | None -> "?"))
+          steps))
+
+(* Same trace, fresh instance: identical decisions and counters. *)
+let qcheck_replay_identical =
+  QCheck2.Test.make ~name:"same trace => same admit/reject sequence"
+    ~count:300 ~print:print_trace gen_trace (fun (config, steps) ->
+      let d1, c1 = replay config steps in
+      let d2, c2 = replay config steps in
+      d1 = d2 && c1 = c2)
+
+(* Peers are independent: deleting every step of other peers never
+   changes a peer's own decision subsequence.  This is the property that
+   makes shard interleaving invisible. *)
+let qcheck_peer_isolation =
+  QCheck2.Test.make ~name:"a peer's decisions depend only on its own steps"
+    ~count:300 ~print:print_trace gen_trace (fun (config, steps) ->
+      let all, _ = replay config steps in
+      let mine p =
+        List.filteri (fun i _ -> (List.nth steps i).peer = p) all
+      in
+      List.for_all
+        (fun p ->
+          let only = List.filter (fun s -> s.peer = p) steps in
+          let alone, _ = replay config only in
+          alone = mine p)
+        [ "peer0"; "peer1"; "peer2" ])
+
+(* Counters are exactly the decision histogram plus recorded trips. *)
+let qcheck_counters_consistent =
+  QCheck2.Test.make ~name:"counters = decision histogram" ~count:300
+    ~print:print_trace gen_trace (fun (config, steps) ->
+      let ds, c = replay config steps in
+      let n f = List.length (List.filter f ds) in
+      c.A.admitted = n (( = ) A.Admit)
+      && c.A.rate_limited = n (( = ) A.Reject_rate_limited)
+      && c.A.too_large = n (( = ) A.Reject_too_large)
+      && c.A.breaker_rejected = n (( = ) A.Reject_breaker_open))
+
+(* The off config admits everything, forever. *)
+let qcheck_off_admits_all =
+  QCheck2.Test.make ~name:"off config admits every request" ~count:100
+    ~print:print_trace gen_trace (fun (_, steps) ->
+      let ds, _ = replay A.off steps in
+      List.for_all (( = ) A.Admit) ds)
+
+(* ----------------------- token bucket edges ------------------------- *)
+
+let peer = "p"
+
+let check_seq t bytes n =
+  let rec go k acc =
+    if k = 0 then List.rev acc else go (k - 1) (A.check t ~peer ~bytes :: acc)
+  in
+  go n []
+
+(* capacity 2, refill every 4 ticks: two admits burn the burst, then
+   only every 4th tick (the refill tick) gets through. *)
+let test_bucket_refill_edge () =
+  let t = A.create (cfg ~bucket_capacity:2 ~refill_every:4 ()) in
+  let ds = check_seq t 1 12 in
+  let expect =
+    [
+      A.Admit (* tick 1: burst *);
+      A.Admit (* tick 2: burst *);
+      A.Reject_rate_limited (* 3 *);
+      A.Admit (* tick 4: refill lands before gating *);
+      A.Reject_rate_limited (* 5 *);
+      A.Reject_rate_limited (* 6 *);
+      A.Reject_rate_limited (* 7 *);
+      A.Admit (* 8 *);
+      A.Reject_rate_limited (* 9 *);
+      A.Reject_rate_limited (* 10 *);
+      A.Reject_rate_limited (* 11 *);
+      A.Admit (* 12 *);
+    ]
+  in
+  Alcotest.(check (list decision)) "burst then refill cadence" expect ds
+
+(* refill_every = 1 restores a token on every tick: the bucket never
+   runs dry regardless of capacity. *)
+let test_bucket_refill_every_tick () =
+  let t = A.create (cfg ~bucket_capacity:1 ~refill_every:1 ()) in
+  Alcotest.(check (list decision))
+    "never dry at refill_every=1"
+    (List.init 8 (fun _ -> A.Admit))
+    (check_seq t 1 8)
+
+(* Refill is capped at capacity: a long idle stretch (rejected ticks
+   still tick) must not bank more than [capacity] tokens. *)
+let test_bucket_no_banking () =
+  let t = A.create (cfg ~bucket_capacity:1 ~refill_every:2 ()) in
+  let _burn = check_seq t 1 1 in
+  (* Ticks 2..9: every even tick refills to the cap of 1 and admits;
+     odd ticks find the bucket empty again.  If refills banked, the
+     later odd ticks would start admitting. *)
+  Alcotest.(check (list decision))
+    "cap respected across idle refills"
+    [
+      A.Admit; A.Reject_rate_limited; A.Admit; A.Reject_rate_limited;
+      A.Admit; A.Reject_rate_limited; A.Admit; A.Reject_rate_limited;
+    ]
+    (check_seq t 1 8)
+
+(* Size rejections don't consume tokens. *)
+let test_too_large_spends_nothing () =
+  let t =
+    A.create (cfg ~bucket_capacity:1 ~refill_every:1000 ~max_request_bytes:4 ())
+  in
+  Alcotest.check decision "oversized refused" A.Reject_too_large
+    (A.check t ~peer ~bytes:100);
+  Alcotest.check decision "token still there" A.Admit (A.check t ~peer ~bytes:1);
+  Alcotest.check decision "now dry" A.Reject_rate_limited
+    (A.check t ~peer ~bytes:1)
+
+(* --------------------------- breaker walk --------------------------- *)
+
+(* trip=2, probe_after=3: two sheds open the breaker, it refuses until
+   the probe tick, the probe's outcome closes (served) or re-opens
+   (shed) it. *)
+let test_breaker_walk () =
+  let t = A.create (cfg ~breaker_trip:2 ~breaker_probe_after:3 ()) in
+  let admit_and_shed () =
+    Alcotest.check decision "admitted" A.Admit (A.check t ~peer ~bytes:1);
+    A.record t ~peer ~shed:true
+  in
+  admit_and_shed ();
+  Alcotest.(check bool) "one shed: still closed" false (A.breaker_open t ~peer);
+  admit_and_shed ();
+  Alcotest.(check bool) "two sheds: open" true (A.breaker_open t ~peer);
+  (* Open: refuses while the probe is not yet due. *)
+  Alcotest.check decision "open refuses" A.Reject_breaker_open
+    (A.check t ~peer ~bytes:1);
+  Alcotest.check decision "open still refuses" A.Reject_breaker_open
+    (A.check t ~peer ~bytes:1);
+  (* Probe tick: half-opens and admits exactly one. *)
+  Alcotest.check decision "probe admitted" A.Admit (A.check t ~peer ~bytes:1);
+  Alcotest.(check bool) "half-open counts as refusing" true
+    (A.breaker_open t ~peer);
+  Alcotest.check decision "half-open refuses the rest" A.Reject_breaker_open
+    (A.check t ~peer ~bytes:1);
+  (* Probe served: closed again, admits freely. *)
+  A.record t ~peer ~shed:false;
+  Alcotest.(check bool) "served probe closes" false (A.breaker_open t ~peer);
+  Alcotest.check decision "closed admits" A.Admit (A.check t ~peer ~bytes:1);
+  A.record t ~peer ~shed:false;
+  let c = A.counters t in
+  Alcotest.(check int) "one trip recorded" 1 c.A.breaker_trips
+
+let test_breaker_reopens_on_failed_probe () =
+  let t = A.create (cfg ~breaker_trip:1 ~breaker_probe_after:2 ()) in
+  Alcotest.check decision "admitted" A.Admit (A.check t ~peer ~bytes:1);
+  A.record t ~peer ~shed:true;
+  Alcotest.check decision "open refuses" A.Reject_breaker_open
+    (A.check t ~peer ~bytes:1);
+  Alcotest.check decision "probe admitted" A.Admit (A.check t ~peer ~bytes:1);
+  A.record t ~peer ~shed:true;
+  (* Failed probe: straight back to open, with a fresh probe interval
+     and a second trip on the books. *)
+  Alcotest.check decision "re-opened" A.Reject_breaker_open
+    (A.check t ~peer ~bytes:1);
+  Alcotest.check decision "second probe due" A.Admit (A.check t ~peer ~bytes:1);
+  A.record t ~peer ~shed:false;
+  let c = A.counters t in
+  Alcotest.(check int) "two trips recorded" 2 c.A.breaker_trips
+
+(* The probe bypasses the token bucket: an open breaker's probe admits
+   even when the peer's bucket is dry, and spends no token. *)
+let test_probe_bypasses_bucket () =
+  let t =
+    A.create
+      (cfg ~bucket_capacity:1 ~refill_every:1000 ~breaker_trip:1
+         ~breaker_probe_after:1 ())
+  in
+  Alcotest.check decision "burst token" A.Admit (A.check t ~peer ~bytes:1);
+  A.record t ~peer ~shed:true;
+  (* Bucket is dry AND breaker just opened; the next tick is already the
+     probe tick, and must admit despite the dry bucket. *)
+  Alcotest.check decision "probe beats dry bucket" A.Admit
+    (A.check t ~peer ~bytes:1);
+  A.record t ~peer ~shed:false;
+  (* Closed again, bucket still dry: rate limiting resumes. *)
+  Alcotest.check decision "bucket untouched by probe" A.Reject_rate_limited
+    (A.check t ~peer ~bytes:1)
+
+(* forget drops all peer state: the burst and a clean breaker return. *)
+let test_forget_resets () =
+  let t =
+    A.create
+      (cfg ~bucket_capacity:1 ~refill_every:1000 ~breaker_trip:1
+         ~breaker_probe_after:1000 ())
+  in
+  Alcotest.check decision "burst" A.Admit (A.check t ~peer ~bytes:1);
+  A.record t ~peer ~shed:true;
+  Alcotest.(check bool) "open" true (A.breaker_open t ~peer);
+  A.forget t ~peer;
+  Alcotest.(check bool) "forgotten peer closed" false (A.breaker_open t ~peer);
+  Alcotest.check decision "fresh burst after forget" A.Admit
+    (A.check t ~peer ~bytes:1)
+
+let test_enabled () =
+  Alcotest.(check bool) "off disabled" false (A.enabled A.off);
+  Alcotest.(check bool) "bucket enables" true
+    (A.enabled (cfg ~bucket_capacity:1 ()));
+  Alcotest.(check bool) "size enables" true
+    (A.enabled (cfg ~max_request_bytes:1 ()));
+  Alcotest.(check bool) "breaker enables" true
+    (A.enabled (cfg ~breaker_trip:1 ()))
+
+(* ----------------------------- alcotest ----------------------------- *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "admission"
+    [
+      ( "determinism",
+        qcheck
+          [
+            qcheck_replay_identical;
+            qcheck_peer_isolation;
+            qcheck_counters_consistent;
+            qcheck_off_admits_all;
+          ] );
+      ( "token bucket",
+        [
+          Alcotest.test_case "burst then refill cadence" `Quick
+            test_bucket_refill_edge;
+          Alcotest.test_case "refill every tick" `Quick
+            test_bucket_refill_every_tick;
+          Alcotest.test_case "no token banking" `Quick test_bucket_no_banking;
+          Alcotest.test_case "size refusal spends no token" `Quick
+            test_too_large_spends_nothing;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "open -> half-open -> close" `Quick
+            test_breaker_walk;
+          Alcotest.test_case "failed probe re-opens" `Quick
+            test_breaker_reopens_on_failed_probe;
+          Alcotest.test_case "probe bypasses bucket" `Quick
+            test_probe_bypasses_bucket;
+          Alcotest.test_case "forget resets peer state" `Quick
+            test_forget_resets;
+          Alcotest.test_case "enabled predicate" `Quick test_enabled;
+        ] );
+    ]

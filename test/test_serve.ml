@@ -169,6 +169,13 @@ let gen_snapshot =
           store_corrupt = f land 7;
           queue_high_water = 0;
           inflight_high_water = 0;
+          io_shards = 1 + (a land 7);
+          accepted_by_shard = by_kind;
+          admission_admitted = d lxor 5;
+          admission_rate_limited = c land 63;
+          admission_too_large = b land 15;
+          admission_breaker_rejected = a land 31;
+          admission_breaker_trips = a land 3;
         })
       (quad
          (quad (int_range 0 9999) (int_range 0 9999) (int_range 0 9999)
@@ -179,7 +186,16 @@ let gen_snapshot =
 
 let gen_error_code =
   QCheck2.Gen.oneofl
-    [ P.Overloaded; P.Timeout; P.Busy; P.Bad_request; P.Unknown_workload; P.Failed ]
+    [
+      P.Overloaded;
+      P.Timeout;
+      P.Busy;
+      P.Bad_request;
+      P.Unknown_workload;
+      P.Failed;
+      P.Rate_limited;
+      P.Too_large;
+    ]
 
 let gen_response =
   QCheck2.Gen.(
@@ -281,7 +297,7 @@ let with_null_fd f =
 
 let test_session_incremental () =
   with_null_fd (fun fd ->
-      let sess = Serve.Session.create ~id:0 fd in
+      let sess = Serve.Session.create ~id:0 ~peer:"test" fd in
       let payload = P.encode_request (P.Analyze "gcc") in
       let frame = W.encode payload in
       String.iteri
@@ -312,7 +328,7 @@ let test_session_incremental () =
 
 let test_session_oversized () =
   with_null_fd (fun fd ->
-      let sess = Serve.Session.create ~id:1 fd in
+      let sess = Serve.Session.create ~id:1 ~peer:"test" fd in
       let frame = Bytes.of_string (W.encode (String.make 100 'x')) in
       Serve.Session.feed sess frame (Bytes.length frame);
       match Serve.Session.next_frame sess ~max_payload:10 with
@@ -428,8 +444,8 @@ let run_clients address n =
       c)
     files
 
-let collect_run jobs =
-  with_server ~jobs (fun address ->
+let collect_run ?extra jobs =
+  with_server ~jobs ?extra (fun address ->
       let transcripts = run_clients address 8 in
       (* Server-side sanity before shutdown: every request was served. *)
       Serve.Client.with_connection ~retry_for:200 address (fun conn ->
@@ -462,6 +478,28 @@ let test_jobs_byte_equality () =
       in
       Alcotest.(check string) "served analyze = offline analyze" offline text
   | Ok _ | Stdlib.Error _ -> Alcotest.fail "expected a Report response"
+
+(* Shard fan-out must be invisible in the bytes: 4 IO shards (on each
+   available evloop backend) reproduce the single-shard transcripts
+   exactly, because every connection's ledger lives on one shard and the
+   responses are pure functions of the requests. *)
+let test_shards_byte_equality () =
+  let baseline = collect_run 4 in
+  let backends =
+    [ "select" ] @ (if Evloop.epoll_available () then [ "epoll" ] else [])
+  in
+  List.iter
+    (fun backend ->
+      let sharded =
+        collect_run ~extra:[ "--io-shards"; "4"; "--evloop"; backend ] 4
+      in
+      List.iteri
+        (fun i (a, b) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "client %d identical at 1 vs 4 shards (%s)" i backend)
+            true (String.equal a b))
+        (List.combine baseline sharded))
+    backends
 
 (* ------------------- e2e: backpressure and deadlines ---------------- *)
 
@@ -507,6 +545,86 @@ let test_unknown_workload () =
           (match call_ok conn (P.Analyze "no_such_workload") with
           | P.Error { code = P.Unknown_workload; _ } -> ()
           | resp -> Alcotest.fail ("expected unknown_workload, got " ^ P.render_response resp));
+          ignore (call_ok conn P.Shutdown)))
+
+(* -------------------------- e2e: admission -------------------------- *)
+
+let find_error code errors =
+  Option.value ~default:0 (List.assoc_opt code errors)
+
+(* Burst of 2 with a slow refill: the third heavy request from the same
+   peer is refused with the typed rate_limited error, while inline
+   requests keep flowing; counters line up in the snapshot. *)
+let test_rate_limit () =
+  with_server
+    ~extra:[ "--rate-burst"; "2"; "--rate-every"; "1000" ]
+    (fun address ->
+      Serve.Client.with_connection ~retry_for:200 address (fun conn ->
+          (match call_ok conn (P.Analyze "gcc") with
+          | P.Report _ -> ()
+          | resp -> Alcotest.fail ("first analyze: " ^ P.render_response resp));
+          (match call_ok conn (P.Analyze "gcc") with
+          | P.Report _ -> ()
+          | resp -> Alcotest.fail ("second analyze: " ^ P.render_response resp));
+          (match call_ok conn (P.Analyze "gcc") with
+          | P.Error { code = P.Rate_limited; _ } -> ()
+          | resp ->
+              Alcotest.fail ("expected rate_limited, got " ^ P.render_response resp));
+          (match call_ok conn P.Health with
+          | P.Health_ok _ -> ()
+          | resp -> Alcotest.fail ("health while limited: " ^ P.render_response resp));
+          (match call_ok conn P.Stats with
+          | P.Stats_snapshot s ->
+              Alcotest.(check int) "rate_limited counted" 1
+                (find_error "rate_limited" s.Serve.Metrics.responses_error);
+              Alcotest.(check int) "admission.admitted" 2
+                s.Serve.Metrics.admission_admitted;
+              Alcotest.(check int) "admission.rate_limited" 1
+                s.Serve.Metrics.admission_rate_limited
+          | resp -> Alcotest.fail ("stats: " ^ P.render_response resp));
+          ignore (call_ok conn P.Shutdown)))
+
+let test_too_large () =
+  with_server
+    ~extra:[ "--max-request"; "4" ]
+    (fun address ->
+      Serve.Client.with_connection ~retry_for:200 address (fun conn ->
+          (match call_ok conn (P.Analyze "gcc") with
+          | P.Error { code = P.Too_large; _ } -> ()
+          | resp -> Alcotest.fail ("expected too_large, got " ^ P.render_response resp));
+          (match call_ok conn P.Stats with
+          | P.Stats_snapshot s ->
+              Alcotest.(check int) "too_large counted" 1
+                (find_error "too_large" s.Serve.Metrics.responses_error);
+              Alcotest.(check int) "admission.too_large" 1
+                s.Serve.Metrics.admission_too_large
+          | resp -> Alcotest.fail ("stats: " ^ P.render_response resp));
+          ignore (call_ok conn P.Shutdown)))
+
+(* --queue 0 makes every admitted heavy request a shed outcome; with
+   --breaker-trip 1 the first shed opens the peer's breaker, so the
+   second request is refused by the breaker (surfaced as overloaded but
+   counted apart) without ever touching the queue. *)
+let test_breaker () =
+  with_server
+    ~extra:[ "--queue"; "0"; "--breaker-trip"; "1"; "--breaker-probe"; "1000" ]
+    (fun address ->
+      Serve.Client.with_connection ~retry_for:200 address (fun conn ->
+          (match call_ok conn (P.Analyze "gcc") with
+          | P.Error { code = P.Overloaded; _ } -> ()
+          | resp -> Alcotest.fail ("expected overloaded, got " ^ P.render_response resp));
+          (match call_ok conn (P.Analyze "gcc") with
+          | P.Error { code = P.Overloaded; _ } -> ()
+          | resp -> Alcotest.fail ("expected breaker refusal, got " ^ P.render_response resp));
+          (match call_ok conn P.Stats with
+          | P.Stats_snapshot s ->
+              Alcotest.(check int) "both surfaced as overloaded" 2
+                (find_error "overloaded" s.Serve.Metrics.responses_error);
+              Alcotest.(check int) "one breaker trip" 1
+                s.Serve.Metrics.admission_breaker_trips;
+              Alcotest.(check int) "one breaker rejection" 1
+                s.Serve.Metrics.admission_breaker_rejected
+          | resp -> Alcotest.fail ("stats: " ^ P.render_response resp));
           ignore (call_ok conn P.Shutdown)))
 
 (* ------------------------ e2e: streaming ingest --------------------- *)
@@ -594,6 +712,90 @@ let test_tcp_health () =
           | resp -> Alcotest.fail ("health: " ^ P.render_response resp));
           ignore (call_ok conn P.Shutdown)))
 
+(* ------------------------------ evloop ------------------------------ *)
+
+let available_backends () =
+  [ Evloop.Select ] @ (if Evloop.epoll_available () then [ Evloop.Epoll ] else [])
+
+(* One readiness round-trip per available backend: interest registration,
+   level-triggered readability, interest modification, write readiness,
+   wakeup, and idempotent removal all behave identically on both. *)
+let test_evloop_readiness () =
+  List.iter
+    (fun backend ->
+      let name = Evloop.backend_name backend in
+      let ev = Evloop.create backend in
+      Alcotest.(check bool)
+        (name ^ ": backend preserved")
+        true
+        (Evloop.backend ev = backend);
+      let r, w = Unix.pipe () in
+      Fun.protect
+        ~finally:(fun () ->
+          Evloop.close ev;
+          Unix.close r;
+          Unix.close w)
+        (fun () ->
+          Evloop.add ev r ~read:true ~write:false;
+          Evloop.wait ev ~timeout_ms:0;
+          Alcotest.(check bool)
+            (name ^ ": idle pipe not readable")
+            false (Evloop.readable ev r);
+          Alcotest.(check bool) (name ^ ": not woken") false (Evloop.woken ev);
+          ignore (Unix.write_substring w "x" 0 1);
+          Evloop.wait ev ~timeout_ms:1000;
+          Alcotest.(check bool)
+            (name ^ ": pending byte readable")
+            true (Evloop.readable ev r);
+          (* Level-triggered: the byte is still there on the next wait. *)
+          Evloop.wait ev ~timeout_ms:0;
+          Alcotest.(check bool)
+            (name ^ ": still readable (level-triggered)")
+            true (Evloop.readable ev r);
+          Evloop.modify ev r ~read:false ~write:false;
+          Evloop.wait ev ~timeout_ms:0;
+          Alcotest.(check bool)
+            (name ^ ": interest withdrawn")
+            false (Evloop.readable ev r);
+          Evloop.add ev w ~read:false ~write:true;
+          Evloop.wait ev ~timeout_ms:1000;
+          Alcotest.(check bool)
+            (name ^ ": pipe writable")
+            true (Evloop.writable ev w);
+          Alcotest.(check bool)
+            (name ^ ": read fd not writable")
+            false (Evloop.writable ev r);
+          Evloop.wake ev;
+          Evloop.wait ev ~timeout_ms:1000;
+          Alcotest.(check bool) (name ^ ": woken") true (Evloop.woken ev);
+          Evloop.wait ev ~timeout_ms:0;
+          Alcotest.(check bool)
+            (name ^ ": wake consumed")
+            false (Evloop.woken ev);
+          Evloop.remove ev r;
+          Evloop.remove ev r;
+          (* idempotent *)
+          Evloop.remove ev w))
+    (available_backends ())
+
+let test_evloop_backend_names () =
+  Alcotest.(check string) "select name" "select"
+    (Evloop.backend_name Evloop.Select);
+  Alcotest.(check string) "epoll name" "epoll" (Evloop.backend_name Evloop.Epoll);
+  (match Evloop.backend_of_string "select" with
+  | Ok Evloop.Select -> ()
+  | _ -> Alcotest.fail "backend_of_string select");
+  (match Evloop.backend_of_string "epoll" with
+  | Ok Evloop.Epoll -> ()
+  | _ -> Alcotest.fail "backend_of_string epoll");
+  (match Evloop.backend_of_string "kqueue" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus backend accepted");
+  let best = Evloop.best () in
+  Alcotest.(check bool) "best matches availability" true
+    (if Evloop.epoll_available () then best = Evloop.Epoll
+     else best = Evloop.Select)
+
 (* ----------------------------- alcotest ----------------------------- *)
 
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
@@ -624,13 +826,23 @@ let () =
           Alcotest.test_case "incremental framing" `Quick test_session_incremental;
           Alcotest.test_case "oversized frame" `Quick test_session_oversized;
         ] );
+      ( "evloop",
+        [
+          Alcotest.test_case "readiness round-trip" `Quick test_evloop_readiness;
+          Alcotest.test_case "backend names" `Quick test_evloop_backend_names;
+        ] );
       ( "server",
         [
           Alcotest.test_case "8 clients byte-identical across jobs" `Slow
             test_jobs_byte_equality;
+          Alcotest.test_case "byte-identical across shards and backends" `Slow
+            test_shards_byte_equality;
           Alcotest.test_case "queue overflow -> overloaded" `Quick test_overload;
           Alcotest.test_case "deadline -> timeout" `Quick test_timeout;
           Alcotest.test_case "unknown workload" `Quick test_unknown_workload;
+          Alcotest.test_case "rate limit -> typed refusal" `Quick test_rate_limit;
+          Alcotest.test_case "size budget -> too_large" `Quick test_too_large;
+          Alcotest.test_case "breaker trips after shed" `Quick test_breaker;
           Alcotest.test_case "ingest stream = repro stream" `Slow
             test_ingest_equivalence;
           Alcotest.test_case "health over tcp" `Quick test_tcp_health;
