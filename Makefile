@@ -1,6 +1,6 @@
 # Convenience targets mirroring CI.
 
-.PHONY: build check test bench bench-gate bench-baseline lint lint-deep lint-smoke serve-smoke load-smoke cache-smoke atlas-diff zoo-atlas zoo-baseline clean
+.PHONY: build check test bench bench-gate bench-baseline lint lint-deep lint-smoke serve-smoke load-smoke cache-smoke soak-smoke soak-baseline atlas-diff zoo-atlas zoo-baseline clean
 
 # @all also builds the examples and benches, so they cannot bitrot.
 build:
@@ -14,7 +14,7 @@ build:
 # fixture tree (which must also make lint exit non-zero), and two end-to-end
 # CLI transcripts are golden-compared so the optimized tree/CV hot path can
 # never drift from the byte output it had before the rewrite.
-check: build lint lint-deep lint-smoke serve-smoke load-smoke cache-smoke
+check: build lint lint-deep lint-smoke serve-smoke load-smoke cache-smoke soak-smoke
 	QCHECK_SEED=1 JOBS=1 dune runtest --force
 	QCHECK_SEED=1 JOBS=4 dune runtest --force
 	dune exec bin/repro.exe -- stream odb_h_q13 mcf --quick --jobs 1 > _build/stream-j1.out
@@ -65,6 +65,20 @@ serve-smoke: build
 # mismatched responses.  LOAD_EVLOOP/LOAD_SHARDS select backend/shards.
 load-smoke: build
 	sh scripts/load_test.sh
+
+# Operational-surface soak (DESIGN.md §17): serve with the HTTP metrics
+# endpoint up, scrape + lint /metrics before and after a paced load run,
+# require zero lost/mismatched responses, counter consistency between
+# the scrape and the wire, a machine-normalised p99 within budget of the
+# committed BENCH_soak.json, and /health 200-while-serving /
+# 503-while-draining.  SOAK_EVLOOP/SOAK_SHARDS/SOAK_RPS etc. scale it.
+soak-smoke: build
+	sh scripts/soak_test.sh
+
+# Refresh the committed soak baseline (run on an idle machine, commit).
+soak-baseline: build
+	SOAK_WRITE_BASELINE=1 sh scripts/soak_test.sh
+	@echo "wrote BENCH_soak.json; review and commit it"
 
 # Warm-restart equivalence gate (DESIGN.md §14): serve with a cold
 # persistent store, restart on the same store, and require the warm

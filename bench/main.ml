@@ -747,6 +747,188 @@ let run_load args =
     exit 1
   end
 
+(* -------------------------------- soak ------------------------------ *)
+
+(* `bench/main.exe -- --soak --socket PATH [--clients N] [--rps R]
+   [--duration SECONDS] [--json]`: the paced load generator behind
+   scripts/soak_test.sh.  Unlike --load (which fires as fast as the
+   socket allows), each forked client schedules its requests against a
+   fixed tick grid so the offered load is a target requests/sec held for
+   a target duration — a soak, not a burst.  Every response is verified
+   exactly as in --load (byte-compare per request shape, typed refusals
+   counted separately), per-request latencies are merged across clients
+   into p50/p99, and the run fails on any lost or mismatched response.
+   The JSON report carries the calibration figure and the core count so
+   scripts/soak_test.sh can hold p99 to a machine-normalized budget from
+   the committed BENCH_soak.json baseline. *)
+let run_soak args =
+  let rec opt name = function
+    | [] -> None
+    | k :: v :: _ when String.equal k name -> Some v
+    | _ :: rest -> opt name rest
+  in
+  let socket =
+    match opt "--socket" args with
+    | Some s -> s
+    | None -> failwith "soak: --socket PATH required"
+  in
+  let int_opt name default =
+    match opt name args with
+    | None -> default
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> n
+        | Some _ | None ->
+            failwith (Printf.sprintf "soak: %s expects a positive integer" name))
+  in
+  let clients = int_opt "--clients" 4 in
+  let rps = int_opt "--rps" 200 in
+  let duration = int_opt "--duration" 5 in
+  let json = List.mem "--json" args in
+  let address = Serve.Server.Unix_socket socket in
+  let per_client = max 1 (rps * duration / clients) in
+  let interval = float_of_int duration /. float_of_int per_client in
+  let script r =
+    match r mod 3 with
+    | 0 -> Serve.Protocol.Health
+    | 1 -> Serve.Protocol.Analyze "gzip"
+    | _ -> Serve.Protocol.Quadrant "gzip"
+  in
+  (* Machine-speed probe before the forks, outside the paced window. *)
+  let calib_ms = time_reps 5 calibration_kernel in
+  let files =
+    List.init clients (fun i -> Filename.temp_file "repro_soak" (string_of_int i))
+  in
+  flush stdout;
+  let w0 = Unix.gettimeofday () in
+  let pids =
+    List.map
+      (fun file ->
+        match Unix.fork () with
+        | 0 ->
+            let got = ref 0
+            and ok = ref 0
+            and refused = ref 0
+            and mismatched = ref 0 in
+            let refs = Hashtbl.create 3 in
+            let lat = Array.make per_client (-1.0) in
+            (try
+               Serve.Client.with_connection ~retry_for:200 address (fun conn ->
+                   let t0 = Unix.gettimeofday () in
+                   for r = 0 to per_client - 1 do
+                     (* Fixed tick grid: a slow response eats into the
+                        following gap instead of stretching the run. *)
+                     let tick = t0 +. (float_of_int r *. interval) in
+                     let now = Unix.gettimeofday () in
+                     if tick > now then Unix.sleepf (tick -. now);
+                     let s = Unix.gettimeofday () in
+                     (match Serve.Client.call_raw conn (script r) with
+                     | Error _ -> ()
+                     | Ok payload -> (
+                         incr got;
+                         lat.(r) <- (Unix.gettimeofday () -. s) *. 1e6;
+                         match Serve.Protocol.decode_response payload with
+                         | Ok
+                             (Serve.Protocol.Error
+                                {
+                                  code =
+                                    ( Serve.Protocol.Rate_limited
+                                    | Serve.Protocol.Too_large
+                                    | Serve.Protocol.Overloaded
+                                    | Serve.Protocol.Timeout
+                                    | Serve.Protocol.Busy );
+                                  _;
+                                }) ->
+                             incr refused
+                         | Ok (Serve.Protocol.Error _) | Error _ ->
+                             incr mismatched
+                         | Ok _ -> (
+                             match Hashtbl.find_opt refs (r mod 3) with
+                             | None ->
+                                 Hashtbl.replace refs (r mod 3) payload;
+                                 incr ok
+                             | Some reference ->
+                                 if String.equal reference payload then incr ok
+                                 else incr mismatched)))
+                   done)
+             with Failure _ | Unix.Unix_error (_, _, _) | Sys_error _ -> ());
+            let out = open_out file in
+            Printf.fprintf out "%d %d %d %d\n" !got !ok !refused !mismatched;
+            Array.iter (fun v -> if v >= 0.0 then Printf.fprintf out "%.1f\n" v) lat;
+            close_out out;
+            Unix._exit 0
+        | pid -> pid)
+      files
+  in
+  List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+  let dt = Unix.gettimeofday () -. w0 in
+  let latencies = ref [] in
+  let got, ok, refused, mismatched =
+    List.fold_left
+      (fun (g, o, r, m) file ->
+        let ic = open_in file in
+        let counts =
+          Scanf.sscanf (input_line ic) "%d %d %d %d" (fun a b c d ->
+              (g + a, o + b, r + c, m + d))
+        in
+        (try
+           while true do
+             latencies := float_of_string (input_line ic) :: !latencies
+           done
+         with End_of_file -> ());
+        close_in ic;
+        Sys.remove file;
+        counts)
+      (0, 0, 0, 0) files
+  in
+  let sorted = Array.of_list !latencies in
+  Array.sort compare sorted;
+  let p50, p99 =
+    if Array.length sorted = 0 then (0.0, 0.0)
+    else (percentile sorted 50.0, percentile sorted 99.0)
+  in
+  let sent = clients * per_client in
+  let lost = sent - got in
+  let achieved = float_of_int got /. dt in
+  let cores = Domain.recommended_domain_count () in
+  let summary =
+    Printf.sprintf
+      "soak: clients=%d rps=%d duration=%ds sent=%d got=%d ok=%d refused=%d \
+       mismatched=%d lost=%d p50=%.1fus p99=%.1fus achieved=%.0frps cores=%d"
+      clients rps duration sent got ok refused mismatched lost p50 p99 achieved
+      cores
+  in
+  if json then begin
+    (* Gate mode: JSON alone on stdout, the human line on stderr. *)
+    Printf.printf
+      "{\n\
+      \  \"bench\": \"soak\",\n\
+      \  \"schema_version\": 1,\n\
+      \  \"clients\": %d,\n\
+      \  \"rps_target\": %d,\n\
+      \  \"duration_s\": %d,\n\
+      \  \"sent\": %d,\n\
+      \  \"got\": %d,\n\
+      \  \"ok\": %d,\n\
+      \  \"refused\": %d,\n\
+      \  \"mismatched\": %d,\n\
+      \  \"lost\": %d,\n\
+      \  \"rps_achieved\": %.1f,\n\
+      \  \"p50_us\": %.1f,\n\
+      \  \"p99_us\": %.1f,\n\
+      \  \"calibration_ms\": %.4f,\n\
+      \  \"cores\": %d\n\
+       }\n"
+      clients rps duration sent got ok refused mismatched lost achieved p50 p99
+      calib_ms cores;
+    Printf.eprintf "%s\n%!" summary
+  end
+  else print_endline summary;
+  if lost > 0 || mismatched > 0 then begin
+    Printf.eprintf "soak: FAIL (lost=%d mismatched=%d)\n%!" lost mismatched;
+    exit 1
+  end
+
 (* -------------------------------- main ------------------------------ *)
 
 let jobs_of_args args =
@@ -854,6 +1036,7 @@ let () =
   let quick = List.mem "--quick" args in
   let json = List.mem "--json" args in
   if List.mem "--load" args then run_load args
+  else if List.mem "--soak" args then run_soak args
   else if List.mem "--serve" args then run_serve_report ()
   else if List.mem "--zoo" args then run_zoo_report ()
   else if List.mem "--store" args then run_store_report ()

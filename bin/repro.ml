@@ -501,9 +501,19 @@ let serve_cmd =
             "Admission: an open breaker half-opens after $(docv) of the peer's own ticks \
              and admits a single probe whose outcome closes or re-opens it.")
   in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some (bounded_int ~min:0 ~what:"METRICS-PORT")) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve HTTP GET /metrics (Prometheus text exposition) and GET /health on \
+             loopback port $(docv) (0 = OS-assigned; the bound port is reported on \
+             stderr as `metrics listening on ...').  Omit for no HTTP endpoint.")
+  in
   let run config address queue max_conns timeout status store_dir io_shards
       backlog evloop rate_burst rate_every max_request breaker_trip
-      breaker_probe =
+      breaker_probe metrics_port =
     if status then
       match
         Serve.Client.with_connection address (fun c -> Serve.Client.call c Serve.Protocol.Stats)
@@ -553,6 +563,7 @@ let serve_cmd =
           backlog;
           evloop;
           admission;
+          metrics_port;
           store_counters =
             (fun () ->
               Option.map
@@ -580,7 +591,7 @@ let serve_cmd =
     Term.(
       const run $ config_term $ address_term $ queue $ max_conns $ timeout $ status
       $ store_dir $ io_shards $ backlog $ evloop $ rate_burst $ rate_every
-      $ max_request $ breaker_trip $ breaker_probe)
+      $ max_request $ breaker_trip $ breaker_probe $ metrics_port)
 
 let client_cmd =
   let args =

@@ -1,0 +1,129 @@
+(* Prometheus text exposition (format version 0.0.4), rendered from a
+   small declarative model.  The renderer is a pure function of the
+   family list: fixed key order, fixed float formatting, no timestamps —
+   so a scripted serving session produces an exposition that is
+   byte-comparable once the (deliberately clock-dependent) histogram
+   observation lines are normalized away. *)
+
+type histogram = {
+  bounds : float array;  (* ascending upper bounds, seconds; +Inf implied *)
+  counts : int array;  (* per-bucket, length = Array.length bounds + 1 *)
+  sum : float;
+  count : int;
+}
+
+type value = Value of float | Hist of histogram
+
+type sample = { labels : (string * string) list; value : value }
+
+type kind = Counter | Gauge | Histogram
+
+type family = { name : string; help : string; kind : kind; samples : sample list }
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+(* The exposition format's metric-name charset, deliberately narrowed to
+   what scripts/check_metrics.sh enforces: no digits, so a name can never
+   smuggle in a per-instance suffix that belongs in a label. *)
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (function 'a' .. 'z' | '_' | ':' -> true | _ -> false)
+       name
+
+(* Label values are quoted; the three escapes the format defines. *)
+let escape_label_value v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels b labels =
+  match labels with
+  | [] -> ()
+  | labels ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b k;
+          Buffer.add_string b "=\"";
+          Buffer.add_string b (escape_label_value v);
+          Buffer.add_char b '"')
+        labels;
+      Buffer.add_char b '}'
+
+(* Counters and gauges here are integral in practice; print them without
+   a fractional part so the exposition (and its golden) stays stable.
+   Non-integral values (histogram sums) use shortest-roundtrip %.17g
+   trimmed via %g when exact. *)
+let render_number v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let render_bound v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let render_simple b name labels v =
+  Buffer.add_string b name;
+  render_labels b labels;
+  Buffer.add_char b ' ';
+  Buffer.add_string b (render_number v);
+  Buffer.add_char b '\n'
+
+(* Buckets are emitted cumulatively with the +Inf terminator, and the
+   _count line repeats the +Inf value — the invariants
+   scripts/check_metrics.sh re-checks from the outside. *)
+let render_histogram b name labels (h : histogram) =
+  let nbuckets = Array.length h.bounds in
+  let cumulative = ref 0 in
+  for i = 0 to nbuckets - 1 do
+    cumulative := !cumulative + h.counts.(i);
+    Buffer.add_string b name;
+    Buffer.add_string b "_bucket";
+    render_labels b (labels @ [ ("le", render_bound h.bounds.(i)) ]);
+    Buffer.add_char b ' ';
+    Buffer.add_string b (string_of_int !cumulative);
+    Buffer.add_char b '\n'
+  done;
+  let total = !cumulative + h.counts.(nbuckets) in
+  Buffer.add_string b name;
+  Buffer.add_string b "_bucket";
+  render_labels b (labels @ [ ("le", "+Inf") ]);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (string_of_int total);
+  Buffer.add_char b '\n';
+  render_simple b (name ^ "_sum") labels h.sum;
+  render_simple b (name ^ "_count") labels (float_of_int h.count)
+
+let render families =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun f ->
+      if not (valid_name f.name) then
+        invalid_arg ("Expo.render: invalid metric name " ^ f.name);
+      Printf.bprintf b "# HELP %s %s\n" f.name f.help;
+      Printf.bprintf b "# TYPE %s %s\n" f.name (kind_name f.kind);
+      List.iter
+        (fun s ->
+          match (f.kind, s.value) with
+          | (Counter | Gauge), Value v -> render_simple b f.name s.labels v
+          | Histogram, Hist h -> render_histogram b f.name s.labels h
+          | Histogram, Value _ ->
+              invalid_arg ("Expo.render: " ^ f.name ^ ": histogram family with scalar sample")
+          | (Counter | Gauge), Hist _ ->
+              invalid_arg ("Expo.render: " ^ f.name ^ ": scalar family with histogram sample"))
+        f.samples)
+    families;
+  Buffer.contents b

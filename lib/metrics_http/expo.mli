@@ -1,0 +1,41 @@
+(** Prometheus text exposition (version 0.0.4) from a declarative model.
+
+    The serving layer maps its {!Serve.Metrics} snapshot into a
+    [family list] and {!render} turns it into the text a scraper reads
+    from [GET /metrics].  Rendering is a pure function — fixed ordering,
+    fixed number formatting, no timestamps — so expositions from
+    scripted sessions are byte-comparable (after normalizing the
+    clock-dependent histogram lines) and the format lint
+    [scripts/check_metrics.sh] can hold every endpoint to the same
+    invariants. *)
+
+type histogram = {
+  bounds : float array;
+      (** ascending per-bucket upper bounds (seconds); [+Inf] implied *)
+  counts : int array;
+      (** per-bucket (NOT cumulative) counts;
+          [Array.length counts = Array.length bounds + 1], the last
+          entry being the overflow bucket.  {!render} emits the
+          cumulative form the format requires. *)
+  sum : float;
+  count : int;
+}
+
+type value = Value of float | Hist of histogram
+
+type sample = { labels : (string * string) list; value : value }
+
+type kind = Counter | Gauge | Histogram
+
+type family = { name : string; help : string; kind : kind; samples : sample list }
+
+val valid_name : string -> bool
+(** The deliberately narrow charset [\[a-z_:\]+]: lowercase, underscore,
+    colon — no digits, so per-instance identity must live in labels. *)
+
+val render : family list -> string
+(** One [# HELP]/[# TYPE] pair per family, then its samples.  Histogram
+    buckets are cumulative and [+Inf]-terminated, with the [_sum] and
+    [_count] series appended.  Raises [Invalid_argument] on an invalid
+    metric name or a sample/kind mismatch — caught at the serving call
+    site and turned into an HTTP 500. *)

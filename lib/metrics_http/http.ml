@@ -1,0 +1,66 @@
+(* Minimal HTTP/1.0 for the operational endpoints: parse a request head
+   out of an accumulating byte buffer, render a complete response with
+   Content-Length and Connection: close.  No keep-alive, no chunking, no
+   body reading — /metrics and /health are GETs with empty bodies, and a
+   scraper that sends more than [max_head] bytes of headers is refused.
+
+   Everything here is pure (bytes in, verdict out); the serving layer
+   owns the sockets and the event loop. *)
+
+type request = { meth : string; path : string }
+
+type parse_result = Incomplete | Bad of string | Request of request
+
+let max_head = 8192
+
+(* The head ends at the first blank line.  Scrapers send CRLF pairs, but
+   a bare-LF client (netcat, a hand-rolled probe) is accepted too. *)
+let head_end s len =
+  let rec go i =
+    if i + 1 >= len then None
+    else if s.[i] = '\n' && s.[i + 1] = '\n' then Some i
+    else if
+      i + 3 < len
+      && s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let parse_request buf len =
+  let s = Bytes.sub_string buf 0 len in
+  match head_end s len with
+  | None -> if len > max_head then Bad "request head too large" else Incomplete
+  | Some _ -> (
+      let line_end =
+        match String.index_opt s '\n' with
+        | Some i when i > 0 && s.[i - 1] = '\r' -> i - 1
+        | Some i -> i
+        | None -> 0
+      in
+      let line = String.sub s 0 line_end in
+      match String.split_on_char ' ' line with
+      | [ meth; path; version ]
+        when meth <> "" && path <> ""
+             && String.length version >= 5
+             && String.sub version 0 5 = "HTTP/" ->
+          Request { meth; path }
+      | _ -> Bad ("malformed request line: " ^ line))
+
+let reason_of_status = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+(* text/plain; version=0.0.4 is what Prometheus scrapers expect from a
+   text-exposition endpoint; plain text/plain for everything else. *)
+let exposition_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let response ~status ?(content_type = "text/plain; charset=utf-8") body =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status (reason_of_status status) content_type (String.length body) body

@@ -1,0 +1,32 @@
+(** Minimal HTTP/1.0 request parsing and response rendering for the
+    operational endpoints ([GET /metrics], [GET /health]).
+
+    Pure functions over byte buffers: the serving layer accumulates what
+    the socket delivers, asks {!parse_request} whether a full request
+    head has arrived, and writes the string {!response} builds.  Every
+    response closes the connection (HTTP/1.0 semantics) — a scrape is
+    one connection, which keeps the endpoint's state machine at "read
+    head, write response, close". *)
+
+type request = { meth : string; path : string }
+
+type parse_result =
+  | Incomplete  (** no blank line yet — keep reading *)
+  | Bad of string  (** unparseable head (or over {!max_head}) — answer 400 and close *)
+  | Request of request
+
+val max_head : int
+(** Refusal threshold for the accumulated request head, in bytes. *)
+
+val parse_request : bytes -> int -> parse_result
+(** [parse_request buf len] inspects the first [len] bytes.  The head
+    ends at the first blank line (CRLF or bare LF); only the request
+    line is interpreted — headers are tolerated and ignored. *)
+
+val exposition_content_type : string
+(** [text/plain; version=0.0.4; charset=utf-8] — what a Prometheus
+    scraper expects from the metrics endpoint. *)
+
+val response : status:int -> ?content_type:string -> string -> string
+(** [response ~status body] renders a complete HTTP/1.0 response with
+    [Content-Type], [Content-Length] and [Connection: close] headers. *)

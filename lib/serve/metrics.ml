@@ -1,5 +1,28 @@
-(* Counters only — anything time-shaped is banished to bench/ so the
-   stats RPC stays a deterministic function of the request history. *)
+(* Counters, plus per-verb latency histograms for the HTTP /metrics
+   exposition.  The counters are a deterministic function of the request
+   history and travel over the binary stats RPC; the histograms are the
+   one deliberately clock-fed surface (observed via Serve.Clock at the
+   response sites) and are exposed ONLY through [latency] — they never
+   enter [snapshot], so the stats RPC stays byte-identical run to run. *)
+
+(* Fixed log-spaced bucket upper bounds, in seconds: 1 us doubling up to
+   ~8.4 s (24 bounds + overflow).  Fixed at build time so dashboards and
+   the golden exposition transcript never see a bucket layout change
+   without a code change. *)
+let bucket_bounds = Array.init 24 (fun i -> 1e-6 *. Float.of_int (1 lsl i))
+
+type hist = {
+  buckets : int array;  (* per-bucket counts; last entry = overflow *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type hist_snapshot = {
+  hist_kind : string;
+  hist_buckets : int array;
+  hist_sum : float;
+  hist_count : int;
+}
 
 type t = {
   mutable connections_accepted : int;
@@ -25,6 +48,7 @@ type t = {
   mutable admission_too_large : int;
   mutable admission_breaker_rejected : int;
   mutable admission_breaker_trips : int;
+  lat : (string, hist) Hashtbl.t;  (* verb -> latency histogram *)
 }
 
 type snapshot = {
@@ -78,6 +102,7 @@ let create () =
     admission_too_large = 0;
     admission_breaker_rejected = 0;
     admission_breaker_trips = 0;
+    lat = Hashtbl.create 8;
   }
 
 let bump tbl key =
@@ -120,6 +145,41 @@ let set_admission (t : t) ~admitted ~rate_limited ~too_large ~breaker_rejected
   t.admission_too_large <- too_large;
   t.admission_breaker_rejected <- breaker_rejected;
   t.admission_breaker_trips <- breaker_trips
+
+let observe_latency (t : t) ~kind ~seconds =
+  let h =
+    match Hashtbl.find_opt t.lat kind with
+    | Some h -> h
+    | None ->
+        let h =
+          { buckets = Array.make (Array.length bucket_bounds + 1) 0; sum = 0.0; count = 0 }
+        in
+        Hashtbl.replace t.lat kind h;
+        h
+  in
+  (* A clock step backwards must not poison the histogram. *)
+  let seconds = Float.max 0.0 seconds in
+  let nbounds = Array.length bucket_bounds in
+  let rec bucket i =
+    if i >= nbounds then nbounds
+    else if seconds <= bucket_bounds.(i) then i
+    else bucket (i + 1)
+  in
+  let i = bucket 0 in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.sum <- h.sum +. seconds;
+  h.count <- h.count + 1
+
+let latency (t : t) =
+  List.map
+    (fun (kind, h) ->
+      {
+        hist_kind = kind;
+        hist_buckets = Array.copy h.buckets;
+        hist_sum = h.sum;
+        hist_count = h.count;
+      })
+    (Stats.Det.hashtbl_bindings t.lat)
 
 let observe_queue_depth (t : t) n =
   if n > t.queue_high_water then t.queue_high_water <- n

@@ -1,11 +1,16 @@
-(** Deterministic serving metrics: counters and gauges with no clocks and
-    no rates.
+(** Serving metrics: deterministic counters and gauges, plus per-verb
+    latency histograms for the HTTP [/metrics] exposition.
 
-    Everything here is a pure function of the request history the server
+    The counters are a pure function of the request history the server
     has processed — no timestamps, no durations, no load averages — so a
     scripted client session produces a byte-identical [stats] response on
-    every run and every [--jobs] value.  (Latency numbers live in
-    [bench/], where wall-clock reads are sanctioned.)
+    every run and every [--jobs] value.
+
+    The latency histograms are the one deliberately clock-fed surface:
+    the server observes durations (read via [Serve.Clock]) at its
+    response sites.  They are exposed ONLY through {!latency} for the
+    HTTP exposition — they never enter {!snapshot}, so the binary stats
+    RPC keeps its byte-identity guarantee.
 
     The structure itself is not synchronized: the server mutates a [t]
     only under its core lock (shards and pool completions all funnel
@@ -13,6 +18,22 @@
     [stats] RPC. *)
 
 type t
+
+val bucket_bounds : float array
+(** Fixed log-spaced histogram bucket upper bounds in seconds: 1 us
+    doubling up to ~8.4 s (24 bounds; observations above the last bound
+    land in the implicit overflow bucket).  Fixed at build time so the
+    exposition's bucket layout never changes without a code change. *)
+
+type hist_snapshot = {
+  hist_kind : string;  (** request verb, e.g. ["analyze"] *)
+  hist_buckets : int array;
+      (** per-bucket (NOT cumulative) counts aligned with
+          {!bucket_bounds}; one extra trailing entry is the overflow
+          bucket *)
+  hist_sum : float;  (** sum of observed durations, seconds *)
+  hist_count : int;
+}
 
 type snapshot = {
   connections_accepted : int;
@@ -77,6 +98,17 @@ val set_admission :
 
 val observe_queue_depth : t -> int -> unit
 val observe_inflight : t -> int -> unit
+
+val observe_latency : t -> kind:string -> seconds:float -> unit
+(** Record one request's wall-clock duration into the per-verb
+    histogram.  Negative durations (a clock stepping backwards) clamp to
+    zero.  Call sites pair 1:1 with [incr_request] observations so that
+    at quiescence each verb's histogram count equals its
+    [requests_by_kind] counter. *)
+
+val latency : t -> hist_snapshot list
+(** Per-verb histograms, sorted by verb.  This is the only way latency
+    data leaves [t] — deliberately not part of {!snapshot}. *)
 
 val snapshot : t -> snapshot
 

@@ -16,6 +16,9 @@ type config = {
       (* (hits, misses, writes, corrupt) of the attached persistent
          store, or None when serving without one.  A callback so serve
          stays independent of lib/store; polled before each snapshot. *)
+  metrics_port : int option;
+      (* loopback TCP port for the HTTP /metrics + /health endpoint
+         (0 = OS-assigned, reported via on_event); None = no endpoint *)
 }
 
 let default_backlog = 128
@@ -33,6 +36,7 @@ let config_of_analysis analysis =
     evloop = None;
     admission = Admission.off;
     store_counters = (fun () -> None);
+    metrics_port = None;
   }
 
 let describe_address = function
@@ -44,10 +48,24 @@ let describe_address = function
    join [subscribers] instead of queueing a second copy. *)
 type pending = {
   key : string;
+  kind : string;  (* request verb, for the latency histogram *)
   work : unit -> Protocol.response;
-  mutable subscribers : (int * int) list;  (* (connection id, seq) *)
+  mutable subscribers : (int * int * float) list;
+      (* (connection id, seq, arrival time) — the arrival stamp feeds the
+         latency histogram when the shared response is routed out *)
   deadline : float option;
   mutable cancelled : bool;
+}
+
+(* One scrape connection on the HTTP metrics endpoint (shard 0 only).
+   HTTP/1.0: read one request head, write one response, close. *)
+type http_conn = {
+  hid : int;
+  hfd : Unix.file_descr;
+  hbuf : Buffer.t;
+  mutable hout : string;  (* full response once the head has parsed *)
+  mutable hout_off : int;
+  mutable hdone : bool;  (* response built; close after the last write *)
 }
 
 (* One accept/IO domain.  A shard owns its sessions and its evloop
@@ -192,6 +210,137 @@ let run ?(on_event = fun _ -> ()) cfg address =
        (describe_address address) cfg.analysis.Fuzzy.Analysis.jobs nshards
        (Evloop.backend_name backend) cfg.queue_capacity cfg.max_connections);
 
+  (* ---- HTTP metrics endpoint (owned by shard 0) ------------------- *)
+  let metrics_listen =
+    match cfg.metrics_port with
+    | None -> None
+    | Some port ->
+        let fd = listen_socket (Tcp port) ~backlog:16 in
+        let bound =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | Unix.ADDR_UNIX _ -> port
+        in
+        (* Scripts and tests discover an OS-assigned port from this line. *)
+        on_event
+          (Printf.sprintf "metrics listening on http://127.0.0.1:%d/metrics"
+             bound);
+        Some fd
+  in
+  let http_conns : (int, http_conn) Hashtbl.t = Hashtbl.create 8 in
+  let next_http_id = ref 0 in
+  let sorted_http_conns () =
+    List.map snd (Stats.Det.hashtbl_bindings http_conns)
+  in
+  let exposition () =
+    let snapshot, latency, queue_depth, inflight_now =
+      locked (fun () ->
+          sync_store_counters ();
+          sync_admission_counters ();
+          ( Metrics.snapshot metrics,
+            Metrics.latency metrics,
+            !waiting_count,
+            !inflight ))
+    in
+    Exposition.render ~snapshot ~latency ~queue_depth ~inflight:inflight_now
+      ~draining:(Atomic.get draining)
+  in
+  let http_response (r : Metrics_http.Http.request) =
+    match (r.meth, r.path) with
+    | "GET", "/metrics" -> (
+        match exposition () with
+        | body ->
+            Metrics_http.Http.response ~status:200
+              ~content_type:Metrics_http.Http.exposition_content_type body
+        | exception Invalid_argument m ->
+            (* A malformed family is a bug in Exposition; surface it to the
+               scraper instead of killing the shard. *)
+            Metrics_http.Http.response ~status:500 ("exposition error: " ^ m ^ "\n"))
+    | "GET", "/health" ->
+        (* Readiness: accepting work = 200; once draining starts the
+           endpoint keeps answering — with 503 — until the drain ends. *)
+        if Atomic.get draining then
+          Metrics_http.Http.response ~status:503 "draining\n"
+        else Metrics_http.Http.response ~status:200 "ok\n"
+    | "GET", _ -> Metrics_http.Http.response ~status:404 "not found\n"
+    | _, _ -> Metrics_http.Http.response ~status:405 "method not allowed\n"
+  in
+  let drop_http c =
+    Hashtbl.remove http_conns c.hid;
+    Evloop.remove shards.(0).ev c.hfd;
+    close_quietly c.hfd
+  in
+  let http_accept_loop mfd =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept ~cloexec:true mfd with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          let id = !next_http_id in
+          incr next_http_id;
+          Hashtbl.replace http_conns id
+            {
+              hid = id;
+              hfd = fd;
+              hbuf = Buffer.create 256;
+              hout = "";
+              hout_off = 0;
+              hdone = false;
+            };
+          Evloop.add shards.(0).ev fd ~read:true ~write:false
+    done
+  in
+  let http_read c =
+    let buf = Bytes.create 4096 in
+    match Unix.read c.hfd buf 0 (Bytes.length buf) with
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        drop_http c
+    | 0 -> drop_http c
+    | n ->
+        Buffer.add_subbytes c.hbuf buf 0 n;
+        if not c.hdone then begin
+          let head = Buffer.to_bytes c.hbuf in
+          match Metrics_http.Http.parse_request head (Bytes.length head) with
+          | Metrics_http.Http.Incomplete -> ()
+          | Metrics_http.Http.Bad m ->
+              c.hout <- Metrics_http.Http.response ~status:400 (m ^ "\n");
+              c.hdone <- true
+          | Metrics_http.Http.Request r ->
+              c.hout <- http_response r;
+              c.hdone <- true
+        end
+  in
+  let http_flush c =
+    (* The same loop pass may have dropped this connection already. *)
+    if Hashtbl.mem http_conns c.hid then begin
+      let continue = ref c.hdone in
+      while !continue do
+        let remaining = String.length c.hout - c.hout_off in
+        if remaining <= 0 then begin
+          drop_http c;  (* response fully written: HTTP/1.0, so close *)
+          continue := false
+        end
+        else
+          match Unix.write_substring c.hfd c.hout c.hout_off remaining with
+          | n -> c.hout_off <- c.hout_off + n
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              continue := false  (* evloop write interest resumes this *)
+          | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+              drop_http c;
+              continue := false
+      done
+    end
+  in
+
   let sorted_sessions sh =
     List.map snd (Stats.Det.hashtbl_bindings sh.sessions)
   in
@@ -223,9 +372,18 @@ let run ?(on_event = fun _ -> ()) cfg address =
     | None -> Metrics.incr_ok metrics
     | Some code -> Metrics.incr_error metrics ~code
   in
-  (* Inline (non-pooled) response on the owning shard's thread. *)
-  let respond sess seq resp =
-    locked (fun () -> count_code (code_of resp));
+  (* Inline (non-pooled) response on the owning shard's thread.
+     [timing] is the (verb, arrival time) pair for requests that were
+     counted by incr_request; undecodable frames pass no timing and
+     observe nothing, so at quiescence each verb's histogram count
+     equals its requests_by_kind counter. *)
+  let respond ?timing sess seq resp =
+    locked (fun () ->
+        count_code (code_of resp);
+        match timing with
+        | None -> ()
+        | Some (kind, t0) ->
+            Metrics.observe_latency metrics ~kind ~seconds:(Clock.now () -. t0));
     Session.put_response sess ~seq (Wire.encode (Protocol.encode_response resp))
   in
   (* Land one routed heavy-request response on [sh]'s own session table.
@@ -247,8 +405,17 @@ let run ?(on_event = fun _ -> ()) cfg address =
   let route ~from p resp =
     let frame = Wire.encode (Protocol.encode_response resp) in
     let code = code_of resp in
+    (* Latency is observed when the response is produced (here), not when
+       each subscriber's bytes hit its socket: one observation per counted
+       request, even if a subscriber hung up while the work ran. *)
+    let now = Clock.now () in
+    locked (fun () ->
+        List.iter
+          (fun (_, _, t0) ->
+            Metrics.observe_latency metrics ~kind:p.kind ~seconds:(now -. t0))
+          p.subscribers);
     List.iter
-      (fun (conn, seq) ->
+      (fun (conn, seq, _) ->
         let owner = shards.(shard_of_conn conn) in
         if owner.idx = from.idx then apply_delivery owner ~conn ~seq ~frame ~code
         else post owner (Deliver { conn; seq; frame; code }))
@@ -280,7 +447,8 @@ let run ?(on_event = fun _ -> ()) cfg address =
         (* Never queued: these are handled inline at parse time. *)
         Protocol.Error { code = Protocol.Failed; message = "not a pooled request" }
   in
-  let enqueue_heavy sess seq req name ~nbytes =
+  let enqueue_heavy sess seq req name ~nbytes ~kind ~t0 =
+    let respond sess seq resp = respond ~timing:(kind, t0) sess seq resp in
     match Workload.Catalog.find name with
     | exception Not_found ->
         respond sess seq
@@ -336,7 +504,8 @@ let run ?(on_event = fun _ -> ()) cfg address =
                         (* Identical request already queued or running:
                            batch. *)
                         Metrics.incr_batch_joined metrics;
-                        p.subscribers <- (Session.id sess, seq) :: p.subscribers;
+                        p.subscribers <-
+                          (Session.id sess, seq, t0) :: p.subscribers;
                         `Joined
                     | None ->
                         if !waiting_count >= cfg.queue_capacity then begin
@@ -356,8 +525,9 @@ let run ?(on_event = fun _ -> ()) cfg address =
                           let p =
                             {
                               key;
+                              kind;
                               work = work_for req name;
-                              subscribers = [ (Session.id sess, seq) ];
+                              subscribers = [ (Session.id sess, seq, t0) ];
                               deadline;
                               cancelled = false;
                             }
@@ -381,7 +551,8 @@ let run ?(on_event = fun _ -> ()) cfg address =
                              cfg.queue_capacity;
                        })))
   in
-  let dispatch sess seq req ~nbytes =
+  let dispatch sess seq req ~nbytes ~kind ~t0 =
+    let respond sess seq resp = respond ~timing:(kind, t0) sess seq resp in
     match req with
     | Protocol.Health ->
         respond sess seq
@@ -458,7 +629,7 @@ let run ?(on_event = fun _ -> ()) cfg address =
                   (Protocol.Error { code = Protocol.Failed; message = m })))
     | Protocol.Analyze name | Protocol.Quadrant name | Protocol.Re_curve name
       ->
-        enqueue_heavy sess seq req name ~nbytes
+        enqueue_heavy sess seq req name ~nbytes ~kind ~t0
   in
   (* The exception boundary of the inline request path: anything the
      analysis layers throw for bad input (Ingest_feed has no other net
@@ -467,20 +638,23 @@ let run ?(on_event = fun _ -> ()) cfg address =
      that every handler-reachable raise is caught here or earlier. *)
   let handle sess req ~nbytes =
     let seq = Session.alloc_seq sess in
-    locked (fun () ->
-        Metrics.incr_request metrics ~kind:(Protocol.request_kind req));
-    match dispatch sess seq req ~nbytes with
+    let kind = Protocol.request_kind req in
+    let t0 = Clock.now () in
+    locked (fun () -> Metrics.incr_request metrics ~kind);
+    match dispatch sess seq req ~nbytes ~kind ~t0 with
     | () -> ()
     | exception Failure m ->
-        respond sess seq (Protocol.Error { code = Protocol.Failed; message = m })
+        respond ~timing:(kind, t0) sess seq
+          (Protocol.Error { code = Protocol.Failed; message = m })
     | exception Invalid_argument m ->
-        respond sess seq (Protocol.Error { code = Protocol.Failed; message = m })
+        respond ~timing:(kind, t0) sess seq
+          (Protocol.Error { code = Protocol.Failed; message = m })
     | exception Not_found ->
-        respond sess seq
+        respond ~timing:(kind, t0) sess seq
           (Protocol.Error
              { code = Protocol.Failed; message = "internal lookup failed" })
     | exception Assert_failure (file, line, _) ->
-        respond sess seq
+        respond ~timing:(kind, t0) sess seq
           (Protocol.Error
              {
                code = Protocol.Failed;
@@ -764,8 +938,22 @@ let run ?(on_event = fun _ -> ()) cfg address =
           Evloop.modify sh.ev (Session.fd s) ~read:true
             ~write:(Session.has_output s))
         (sorted_sessions sh);
+      if sh.idx = 0 then
+        List.iter
+          (fun c ->
+            Evloop.modify sh.ev c.hfd ~read:(not c.hdone)
+              ~write:(c.hdone && c.hout_off < String.length c.hout))
+          (sorted_http_conns ());
       Evloop.wait sh.ev ~timeout_ms:100;
       if sh.idx = 0 && Evloop.readable sh.ev listen_fd then accept_loop ();
+      if sh.idx = 0 then begin
+        (match metrics_listen with
+        | Some mfd when Evloop.readable sh.ev mfd -> http_accept_loop mfd
+        | Some _ | None -> ());
+        List.iter
+          (fun c -> if Evloop.readable sh.ev c.hfd then http_read c)
+          (sorted_http_conns ())
+      end;
       process_inbox sh;
       List.iter
         (fun sess ->
@@ -775,6 +963,7 @@ let run ?(on_event = fun _ -> ()) cfg address =
       if sh.idx = 0 then expire_waiting sh;
       submit_ready ();
       List.iter (fun sess -> flush_session sh sess) (sorted_sessions sh);
+      if sh.idx = 0 then List.iter http_flush (sorted_http_conns ());
       shard_loop sh
     end
   in
@@ -783,12 +972,23 @@ let run ?(on_event = fun _ -> ()) cfg address =
     Evloop.close sh.ev
   in
   Evloop.add shards.(0).ev listen_fd ~read:true ~write:false;
+  Option.iter
+    (fun mfd -> Evloop.add shards.(0).ev mfd ~read:true ~write:false)
+    metrics_listen;
   let workers =
     Array.map
       (fun sh -> Parallel.Io.spawn (fun () -> shard_loop sh; finish_shard sh))
       (Array.sub shards 1 (nshards - 1))
   in
   shard_loop shards.(0);
+  (* The metrics endpoint dies with shard 0: drop scrape connections and
+     the listener before the shard's evloop closes. *)
+  List.iter drop_http (sorted_http_conns ());
+  Option.iter
+    (fun mfd ->
+      Evloop.remove shards.(0).ev mfd;
+      close_quietly mfd)
+    metrics_listen;
   finish_shard shards.(0);
   Array.iter Parallel.Io.join workers;
   on_event "drained; shutting down";

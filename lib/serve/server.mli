@@ -38,7 +38,15 @@
     {b Shutdown.}  A [Shutdown] request or SIGINT/SIGTERM starts a drain:
     new connections are refused, new heavy requests answer [Overloaded],
     queued and in-flight work completes, owed responses flush, then the
-    server closes everything and returns its final metrics snapshot. *)
+    server closes everything and returns its final metrics snapshot.
+
+    {b Operational surface.}  With [metrics_port] set, shard 0 also
+    serves a loopback HTTP/1.0 endpoint: [GET /metrics] renders the
+    Prometheus text exposition ({!Exposition}) and [GET /health] answers
+    200 while accepting and 503 for the whole drain window.  Request
+    latency (arrival to response, read via {!Clock}) feeds per-verb
+    histograms that appear {e only} in the exposition — the binary
+    [stats] RPC stays clock-free and byte-deterministic. *)
 
 type address = Unix_socket of string | Tcp of int
 
@@ -60,6 +68,10 @@ type config = {
           result store, or [None] when serving without one.  Polled
           before each metrics snapshot; a callback so serve does not
           depend on lib/store. *)
+  metrics_port : int option;
+      (** loopback TCP port for the HTTP [/metrics] + [/health]
+          endpoint; [Some 0] binds an OS-assigned port (reported through
+          [on_event] as "metrics listening on ..."); [None] = none *)
 }
 
 val default_backlog : int
@@ -69,7 +81,8 @@ val config_of_analysis : Fuzzy.Analysis.config -> config
 (** Defaults: pipeline from {!Online.Pipeline.default} with the given
     analysis config; queue 64; 32 connections; no timeout;
     {!Wire.default_max_payload}; one IO shard; {!default_backlog}; best
-    evloop backend; admission off; no store counters. *)
+    evloop backend; admission off; no store counters; no metrics
+    endpoint. *)
 
 val run : ?on_event:(string -> unit) -> config -> address -> Metrics.snapshot
 (** Bind, listen and serve until drained ([Shutdown] request or

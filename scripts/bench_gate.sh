@@ -70,3 +70,35 @@ awk -v tol=1.5 -v minspeed=2.0 '
     printf "bench gate: PASS (<= %.1fx normalised median, >= %.1fx vs reference)\n", tol, minspeed
   }
 ' "$base" "$fresh"
+
+# CI step summary: the same comparison as a markdown table when the
+# workflow provides the file.  Re-parses both JSONs (the gate above
+# already passed, so inputs are known-good).
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    awk '
+      FNR == 1 { nfile++ }
+      /"calibration_ms"/ {
+        v = $0; sub(/.*"calibration_ms": */, "", v); sub(/,.*/, "", v)
+        calib[nfile] = v + 0
+      }
+      /"name": / {
+        line = $0
+        name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        med = line; sub(/.*"median_ms": */, "", med); sub(/,.*/, "", med)
+        if (nfile == 1) { bmed[name] = med + 0; border[++bn] = name }
+        else fmed[name] = med + 0
+      }
+      END {
+        print "### Bench gate (calibration-normalised medians)"
+        print ""
+        print "| kernel | baseline ms | fresh ms | normalised |"
+        print "|---|---|---|---|"
+        for (i = 1; i <= bn; i++) {
+          n = border[i]
+          ratio = (fmed[n] / calib[2]) / (bmed[n] / calib[1])
+          printf "| %s | %.3f | %.3f | %.2fx |\n", n, bmed[n], fmed[n], ratio
+        }
+        print ""
+      }
+    ' "$base" "$fresh" >> "$GITHUB_STEP_SUMMARY"
+fi

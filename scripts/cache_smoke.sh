@@ -35,7 +35,7 @@ diagnostics() {
 fail() {
     echo "cache-smoke: $1" >&2
     diagnostics
-    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    if [ -n "$SERVER_PID" ]; then kill -9 "$SERVER_PID" 2>/dev/null || true; fi
     exit 1
 }
 
@@ -73,7 +73,7 @@ metric() {
     awk -v key="$2" '$1 == key { print $2 }' "$1"
 }
 
-trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+trap 'if [ -n "$SERVER_PID" ]; then kill "$SERVER_PID" 2>/dev/null || true; fi; rm -f "$SOCK"' EXIT
 
 # ---- round 1: cold store ------------------------------------------------
 start_server server1

@@ -1,0 +1,123 @@
+#!/bin/sh
+# Prometheus text-exposition lint, gated in `make check` (via
+# serve-smoke and soak-smoke) and in the serve CI job.
+#
+#   sh scripts/check_metrics.sh METRICS.txt
+#
+# Holds a /metrics scrape to the exposition invariants the server
+# promises (DESIGN.md §17):
+#
+#   - every sample's family has a preceding `# HELP` and `# TYPE` line;
+#   - `# TYPE` is one of counter|gauge|histogram;
+#   - metric names match [a-z_:]+ exactly — no digits, no uppercase, so
+#     per-instance identity must travel in labels;
+#   - sample values are numeric; counter values are non-negative;
+#   - histogram bucket series are cumulative (non-decreasing in file
+#     order), end with an `le="+Inf"` bucket, and the +Inf count equals
+#     the series' `_count` sample.
+#
+# POSIX sh + awk only; no jq, no python.
+set -eu
+
+if [ $# -ne 1 ]; then
+    echo "usage: $0 METRICS.txt" >&2
+    exit 2
+fi
+file=$1
+[ -f "$file" ] || { echo "check_metrics: no such file: $file" >&2; exit 2; }
+
+awk '
+  function err(msg) { printf "check_metrics:%d: %s\n", NR, msg; fail = 1 }
+  # family(name): strip a histogram sample suffix to find the declared family
+  function family(n) {
+    if (n in type) return n
+    if (n ~ /_bucket$/ && substr(n, 1, length(n) - 7) in type)
+      return substr(n, 1, length(n) - 7)
+    if (n ~ /_sum$/ && substr(n, 1, length(n) - 4) in type)
+      return substr(n, 1, length(n) - 4)
+    if (n ~ /_count$/ && substr(n, 1, length(n) - 6) in type)
+      return substr(n, 1, length(n) - 6)
+    return n
+  }
+
+  /^# HELP / {
+    n = $3
+    if (n !~ /^[a-z_:]+$/) err("HELP for invalid metric name: " n)
+    help[n] = 1
+    next
+  }
+  /^# TYPE / {
+    n = $3; k = $4
+    if (n !~ /^[a-z_:]+$/) err("TYPE for invalid metric name: " n)
+    if (k != "counter" && k != "gauge" && k != "histogram")
+      err("invalid TYPE " k " for " n)
+    if (!(n in help)) err("TYPE without preceding HELP for " n)
+    type[n] = k
+    next
+  }
+  /^#/ { next }        # other comments are legal exposition
+  /^$/ { next }
+
+  {
+    # sample line: name[{labels}] value
+    line = $0
+    name = line
+    sub(/[{ ].*/, "", name)
+    if (name !~ /^[a-z_:]+$/) { err("invalid metric name: " name); next }
+
+    labels = ""
+    if (line ~ /\{/) {
+      labels = line
+      sub(/^[^{]*\{/, "", labels)
+      sub(/\}.*$/, "", labels)
+    }
+    value = line
+    sub(/^[^ ]* /, "", value)
+    sub(/^.*\} /, "", value)
+    if (value !~ /^[+-]?([0-9]*\.)?[0-9]+([eE][+-]?[0-9]+)?$/ && value != "+Inf" && value != "-Inf" && value != "NaN") {
+      err("non-numeric value for " name ": " value)
+      next
+    }
+
+    fam = family(name)
+    if (!(fam in type)) { err("sample for undeclared family: " name); next }
+    if (!(fam in help)) err("sample for family without HELP: " name)
+
+    if (type[fam] == "counter" && fam == name && value + 0 < 0)
+      err("negative counter value for " name)
+
+    if (type[fam] == "histogram") {
+      if (name == fam)
+        err("bare sample for histogram family " fam " (expected _bucket/_sum/_count)")
+      if (name == fam "_bucket") {
+        le = labels
+        if (le !~ /(^|,)le="/) { err("bucket without le label: " line); next }
+        sub(/.*(^|,)le="/, "", le)
+        sub(/".*/, "", le)
+        series = fam "{" labels "}"
+        sub(/,?le="[^"]*"/, "", series)
+        if (series in lastbucket && value + 0 < lastbucket[series])
+          err("non-cumulative bucket for " series " at le=\"" le "\"")
+        lastbucket[series] = value + 0
+        if (le == "+Inf") { inf[series] = value + 0; infseen[series] = 1 }
+        else if (series in infseen)
+          err("bucket after le=\"+Inf\" for " series)
+      }
+      if (name == fam "_count") {
+        series = fam "{" labels "}"
+        if (!(series in infseen))
+          err("_count without le=\"+Inf\" bucket for " series)
+        else if (inf[series] != value + 0)
+          err("_count " value " != +Inf bucket " inf[series] " for " series)
+        delete infseen[series]
+        delete lastbucket[series]
+      }
+    }
+  }
+
+  END {
+    for (s in infseen) err("histogram series without _count: " s)
+    if (fail) { print "check_metrics: FAIL"; exit 1 }
+    print "check_metrics: PASS"
+  }
+' "$file"

@@ -49,7 +49,7 @@ diagnostics() {
 fail() {
     echo "load-smoke: $1" >&2
     diagnostics
-    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    if [ -n "$SERVER_PID" ]; then kill -9 "$SERVER_PID" 2>/dev/null || true; fi
     exit 1
 }
 
@@ -105,7 +105,7 @@ run_phase() {
     rm -f "$SOCK"
 }
 
-trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true' EXIT
+trap 'if [ -n "$SERVER_PID" ]; then kill "$SERVER_PID" 2>/dev/null || true; fi' EXIT
 
 run_phase open zero
 run_phase limited some --rate-burst 2 --rate-every 1000000

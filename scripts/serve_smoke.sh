@@ -5,6 +5,9 @@
 # stats + graceful shutdown against it, and `cmp`s the served analyze
 # response against the offline `repro analyze` output for the same
 # configuration — the byte-equality guarantee DESIGN.md §11 argues for.
+# The HTTP operational endpoint rides along: the server runs with
+# --metrics-port 0, GET /metrics must pass scripts/check_metrics.sh,
+# GET /health must answer 200 and unknown paths 404.
 #
 # Uses the built binary directly (not `dune exec`) so the background
 # server and the foreground client don't fight over the dune lock.
@@ -61,7 +64,8 @@ bounded() {
 }
 
 # shellcheck disable=SC2086  # EVLOOP_ARGS is intentionally word-split
-"$EXE" serve --quick --socket "$SOCK" --jobs 2 --io-shards "$SHARDS" $EVLOOP_ARGS \
+"$EXE" serve --quick --socket "$SOCK" --jobs 2 --io-shards "$SHARDS" \
+    --metrics-port 0 $EVLOOP_ARGS \
     > "$OUT/server.out" 2> "$OUT/server.err" &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
@@ -73,6 +77,27 @@ bounded "$EXE" client --socket "$SOCK" stats > "$OUT/stats.out" \
   || fail "client stats failed or timed out (${STEP_TIMEOUT}s)"
 grep -q "requests.total" "$OUT/stats.out" \
   || fail "stats response missing requests.total"
+
+# Operational endpoint: /metrics must pass the exposition lint,
+# /health must answer 200 while serving, unknown paths 404.  Skipped
+# (with a note) only if the host has no curl.
+if command -v curl > /dev/null 2>&1; then
+    MPORT=$(sed -n 's|.*metrics listening on http://127\.0\.0\.1:\([0-9]*\)/metrics.*|\1|p' \
+        "$OUT/server.err")
+    [ -n "$MPORT" ] || fail "no 'metrics listening' line on server stderr"
+    curl -s "http://127.0.0.1:$MPORT/metrics" > "$OUT/metrics.txt" \
+      || fail "GET /metrics failed"
+    sh scripts/check_metrics.sh "$OUT/metrics.txt" \
+      || fail "/metrics fails the exposition lint"
+    grep -q '^repro_requests_total ' "$OUT/metrics.txt" \
+      || fail "/metrics missing repro_requests_total"
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$MPORT/health" || true)
+    [ "$code" = "200" ] || fail "/health returned $code while serving (want 200)"
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$MPORT/nope" || true)
+    [ "$code" = "404" ] || fail "unknown path returned $code (want 404)"
+else
+    echo "serve-smoke: curl not found; skipping HTTP endpoint checks" >&2
+fi
 
 # `repro serve --status` renders the same snapshot without serving.
 bounded "$EXE" serve --status --socket "$SOCK" > "$OUT/status.out" \

@@ -712,6 +712,291 @@ let test_tcp_health () =
           | resp -> Alcotest.fail ("health: " ^ P.render_response resp));
           ignore (call_ok conn P.Shutdown)))
 
+(* --------------------------- e2e: http ------------------------------ *)
+
+(* Variant of [start_server] that keeps the server's stderr in a file:
+   with --metrics-port 0 the OS assigns the HTTP port and the server
+   reports it in a "metrics listening" stderr line. *)
+let start_server_http ?(extra = []) () =
+  let sock = Filename.temp_file "repro_serve_test" ".sock" in
+  Sys.remove sock;
+  let errfile = Filename.temp_file "repro_serve_test" ".err" in
+  let argv =
+    [
+      repro_exe; "serve"; "--quick"; "--socket"; sock; "--jobs"; "1";
+      "--metrics-port"; "0";
+    ]
+    @ extra
+  in
+  flush stdout;
+  flush stderr;
+  let null_in = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let null_out = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let err_out = Unix.openfile errfile [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let pid =
+    Unix.create_process repro_exe (Array.of_list argv) null_in null_out err_out
+  in
+  Unix.close null_in;
+  Unix.close null_out;
+  Unix.close err_out;
+  (sock, pid, errfile)
+
+let metrics_port_of errfile =
+  let tag = "metrics listening on http://127.0.0.1:" in
+  let parse () =
+    let content = try read_file errfile with Sys_error _ -> "" in
+    let tlen = String.length tag in
+    let rec find i =
+      if i + tlen > String.length content then None
+      else if String.sub content i tlen = tag then begin
+        let stop = ref (i + tlen) in
+        while
+          !stop < String.length content
+          && (match content.[!stop] with '0' .. '9' -> true | _ -> false)
+        do
+          incr stop
+        done;
+        int_of_string_opt (String.sub content (i + tlen) (!stop - i - tlen))
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  let rec poll tries =
+    match parse () with
+    | Some port -> port
+    | None ->
+        if tries = 0 then Alcotest.fail "no 'metrics listening' line on stderr"
+        else begin
+          Unix.sleepf 0.05;
+          poll (tries - 1)
+        end
+  in
+  poll 200
+
+(* One HTTP/1.0 exchange: connect, send a GET, read to EOF (the server
+   always closes), split status code from body. *)
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let b = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes b chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      let all = Buffer.contents b in
+      let code =
+        if String.length all >= 12 then
+          int_of_string_opt (String.sub all 9 3)
+        else None
+      in
+      let code =
+        match code with
+        | Some c -> c
+        | None -> Alcotest.fail ("unparseable HTTP response: " ^ all)
+      in
+      let sep = "\r\n\r\n" in
+      let rec body_at i =
+        if i + String.length sep > String.length all then
+          Alcotest.fail "HTTP response without header/body separator"
+        else if String.sub all i (String.length sep) = sep then
+          String.sub all
+            (i + String.length sep)
+            (String.length all - i - String.length sep)
+        else body_at (i + 1)
+      in
+      (code, body_at 0))
+
+(* The exposition is deterministic for a scripted session except where
+   it is deliberately clock-fed (histogram buckets and sums) or
+   placement-dependent (which shard accepted the one connection): those
+   lines are masked, everything else must match the committed golden
+   byte-for-byte at 1 and 4 IO shards. *)
+let normalize_exposition text =
+  let mask_value line =
+    match String.rindex_opt line ' ' with
+    | Some i -> String.sub line 0 (i + 1) ^ "X"
+    | None -> line
+  in
+  String.split_on_char '\n' text
+  |> List.map (fun line ->
+         let starts prefix =
+           String.length line >= String.length prefix
+           && String.sub line 0 (String.length prefix) = prefix
+         in
+         if
+           starts "repro_request_duration_seconds_bucket"
+           || starts "repro_request_duration_seconds_sum"
+         then mask_value line
+         else if starts "repro_shard_accepted_total{" then
+           "repro_shard_accepted_total{shard=\"XX\"} X"
+         else if starts "repro_io_shards " then "repro_io_shards X"
+         else line)
+  |> String.concat "\n"
+
+(* Like [repro_exe]: cwd is _build/default/test under `dune runtest`,
+   the project root under `dune exec test/test_serve.exe`. *)
+let exposition_golden () =
+  List.find Sys.file_exists
+    [ "golden/metrics-exposition.out"; "test/golden/metrics-exposition.out" ]
+
+(* Run the fixed client script against a server, scrape /metrics while
+   the connection is still open (so the active-connections gauge is
+   deterministic), and return the scrape plus the stats snapshot. *)
+let scripted_scrape ~shards =
+  let extra =
+    if shards = 1 then [] else [ "--io-shards"; string_of_int shards ]
+  in
+  let sock, pid, errfile = start_server_http ~extra () in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_server (sock, pid);
+      try Sys.remove errfile with Sys_error _ -> ())
+    (fun () ->
+      let port = metrics_port_of errfile in
+      Serve.Client.with_connection ~retry_for:200 (Serve.Server.Unix_socket sock)
+        (fun conn ->
+          (match call_ok conn (P.Analyze "gcc") with
+          | P.Report _ -> ()
+          | resp -> Alcotest.fail ("analyze: " ^ P.render_response resp));
+          (match call_ok conn (P.Quadrant "gcc") with
+          | P.Quadrant_verdict _ -> ()
+          | resp -> Alcotest.fail ("quadrant: " ^ P.render_response resp));
+          (match call_ok conn P.Health with
+          | P.Health_ok _ -> ()
+          | resp -> Alcotest.fail ("health: " ^ P.render_response resp));
+          let code, scrape = http_get port "/metrics" in
+          Alcotest.(check int) "/metrics status" 200 code;
+          let code, _ = http_get port "/nope" in
+          Alcotest.(check int) "unknown path status" 404 code;
+          let code, _ = http_get port "/health" in
+          Alcotest.(check int) "/health while serving" 200 code;
+          let stats =
+            match call_ok conn P.Stats with
+            | P.Stats_snapshot s -> s
+            | resp -> Alcotest.fail ("stats: " ^ P.render_response resp)
+          in
+          ignore (call_ok conn P.Shutdown);
+          (scrape, stats)))
+
+(* Pull "name{kind=\"K\"} V" integers for one family out of a scrape. *)
+let scraped_by_kind name scrape =
+  List.filter_map
+    (fun line ->
+      let prefix = name ^ "{kind=\"" in
+      if
+        String.length line > String.length prefix
+        && String.sub line 0 (String.length prefix) = prefix
+      then
+        let rest =
+          String.sub line (String.length prefix)
+            (String.length line - String.length prefix)
+        in
+        match (String.index_opt rest '"', String.rindex_opt rest ' ') with
+        | Some q, Some sp ->
+            Option.map
+              (fun v -> (String.sub rest 0 q, v))
+              (int_of_string_opt
+                 (String.sub rest (sp + 1) (String.length rest - sp - 1)))
+        | _ -> None
+      else None)
+    (String.split_on_char '\n' scrape)
+
+let test_metrics_exposition_golden () =
+  let scrape1, stats1 = scripted_scrape ~shards:1 in
+  let scrape4, _ = scripted_scrape ~shards:4 in
+  let n1 = normalize_exposition scrape1 in
+  let n4 = normalize_exposition scrape4 in
+  Alcotest.(check string) "exposition identical at 1 vs 4 IO shards" n1 n4;
+  (* At quiescence each verb's histogram count equals the stats RPC's
+     requests_by_kind counter (the scrape predates the Stats request
+     itself, so "stats" appears in the RPC counters only). *)
+  let counts = scraped_by_kind "repro_request_duration_seconds_count" scrape1 in
+  Alcotest.(check bool) "histogram kinds observed" true (counts <> []);
+  List.iter
+    (fun (kind, hist_count) ->
+      match List.assoc_opt kind stats1.Serve.Metrics.requests_by_kind with
+      | Some n ->
+          Alcotest.(check int)
+            ("histogram count = requests_by_kind for " ^ kind)
+            n hist_count
+      | None -> Alcotest.fail ("histogram for unknown verb " ^ kind))
+    counts;
+  (* And the per-verb request counters in the scrape agree with them. *)
+  Alcotest.(check (list (pair string int)))
+    "scrape requests_kind_total = histogram counts"
+    (scraped_by_kind "repro_requests_kind_total" scrape1)
+    counts;
+  match Sys.getenv_opt "REPRO_METRICS_GOLDEN_WRITE" with
+  | Some path ->
+      let oc = open_out_bin path in
+      output_string oc n1;
+      close_out oc
+  | None ->
+      let golden = read_file (exposition_golden ()) in
+      Alcotest.(check string) "normalized exposition matches golden" golden n1
+
+(* /health readiness flips to 503 between the shutdown request and the
+   end of the drain: a forked client holds a cold analysis in flight so
+   the drain window is wide enough to probe. *)
+let test_health_drain () =
+  let sock, pid, errfile = start_server_http () in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_server (sock, pid);
+      try Sys.remove errfile with Sys_error _ -> ())
+    (fun () ->
+      let port = metrics_port_of errfile in
+      let code, _ = http_get port "/health" in
+      Alcotest.(check int) "/health before shutdown" 200 code;
+      flush stdout;
+      flush stderr;
+      (* Several cold analyses queued on separate connections keep the
+         drain busy for north of a second — wide enough to probe. *)
+      let children =
+        List.map
+          (fun workload ->
+            match Unix.fork () with
+            | 0 ->
+                let status =
+                  try
+                    Serve.Client.with_connection ~retry_for:200
+                      (Serve.Server.Unix_socket sock) (fun conn ->
+                        match Serve.Client.call conn (P.Analyze workload) with
+                        | Ok _ -> 0
+                        | Error _ -> 1)
+                  with Failure _ | Unix.Unix_error (_, _, _) | Sys_error _ -> 1
+                in
+                Unix._exit status
+            | pid -> pid)
+          [ "mcf"; "art"; "applu"; "ammp"; "apsi" ]
+      in
+      (* Let the analyses reach the queue before shutting down. *)
+      Unix.sleepf 0.1;
+      Serve.Client.with_connection ~retry_for:200 (Serve.Server.Unix_socket sock)
+        (fun conn -> ignore (call_ok conn P.Shutdown));
+      (* The draining flag is set before the shutdown ack goes out, so
+         the very first probe must see 503. *)
+      let code, _ = http_get port "/health" in
+      Alcotest.(check int) "/health during drain" 503 code;
+      List.iter
+        (fun child ->
+          match Unix.waitpid [] child with
+          | _, Unix.WEXITED 0 -> ()
+          | _ -> Alcotest.fail "a draining client's analyze failed")
+        children)
+
 (* ------------------------------ evloop ------------------------------ *)
 
 let available_backends () =
@@ -846,5 +1131,11 @@ let () =
           Alcotest.test_case "ingest stream = repro stream" `Slow
             test_ingest_equivalence;
           Alcotest.test_case "health over tcp" `Quick test_tcp_health;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "metrics exposition golden across shards" `Slow
+            test_metrics_exposition_golden;
+          Alcotest.test_case "health 503 during drain" `Quick test_health_drain;
         ] );
     ]
